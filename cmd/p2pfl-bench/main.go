@@ -1,0 +1,104 @@
+// Command p2pfl-bench is a communication-cost calculator for the paper's
+// closed forms (Sec. VII): given N, m (or n) and k it prints the
+// baseline, two-layer and multi-layer costs and the reduction factor.
+//
+//	p2pfl-bench -N 30 -n 3 -k 2
+//	p2pfl-bench -N 30 -sweep            # the Fig. 13 style m-sweep
+//	p2pfl-bench -params 1250858 -bits 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+)
+
+func main() {
+	var (
+		N      = flag.Int("N", 30, "total number of peers")
+		n      = flag.Int("n", 3, "subgroup size")
+		k      = flag.Int("k", 0, "SAC threshold (0: n-out-of-n)")
+		params = flag.Int("params", costmodel.PaperCNNParams, "model parameter count")
+		bits   = flag.Int("bits", 32, "bits per parameter (32 or 64)")
+		sweep  = flag.Bool("sweep", false, "sweep m = 1..N (Fig. 13 style)")
+		layers = flag.Int("layers", 0, "if > 0, print X-layer costs up to this depth (Sec. VII-C)")
+	)
+	flag.Parse()
+
+	bytesPer := costmodel.BytesPerParam32
+	if *bits == 64 {
+		bytesPer = costmodel.BytesPerParam64
+	} else if *bits != 32 {
+		fmt.Fprintln(os.Stderr, "bits must be 32 or 64")
+		os.Exit(2)
+	}
+	w := costmodel.WeightBytes(*params, bytesPer)
+	fmt.Printf("|w| = %d bytes (%.4f Gb) for %d params at %d bits\n\n", w, costmodel.Gigabits(w), *params, *bits)
+
+	if *sweep {
+		base, err := costmodel.BaselineUnits(*N)
+		check(err)
+		fmt.Printf("%-6s %-14s %12s %10s\n", "m", "sizes", "units(|w|)", "Gb")
+		fmt.Printf("%-6d %-14s %12d %10.2f   (one-layer SAC)\n", 1, fmt.Sprintf("[%d]", *N), base, costmodel.Gigabits(base*w))
+		for m := 2; m <= *N; m++ {
+			sizes, err := core.SplitPeers(*N, m)
+			check(err)
+			units, err := costmodel.TwoLayerUnevenUnits(sizes)
+			check(err)
+			fmt.Printf("%-6d %-14s %12d %10.2f\n", m, compact(sizes), units, costmodel.Gigabits(units*w))
+		}
+		return
+	}
+
+	if *layers > 0 {
+		fmt.Printf("%-4s %10s %14s %10s\n", "X", "peers N", "units(|w|)", "Gb")
+		for x := 1; x <= *layers; x++ {
+			peers, err := costmodel.MultiLayerPeers(*n, x)
+			check(err)
+			units, err := costmodel.MultiLayerUnits(*n, x)
+			check(err)
+			fmt.Printf("%-4d %10d %14d %10.2f\n", x, peers, units, costmodel.Gigabits(units*w))
+		}
+		return
+	}
+
+	kk := *k
+	if kk == 0 {
+		kk = *n
+	}
+	m := (*N + *n - 1) / *n
+	sizes, err := core.SplitPeers(*N, m)
+	check(err)
+	base, err := costmodel.BaselineUnits(*N)
+	check(err)
+	two, err := costmodel.TwoLayerUnevenKNUnits(sizes, kk)
+	check(err)
+	fmt.Printf("baseline one-layer SAC: %8d units  %8.2f Gb\n", base, costmodel.Gigabits(base*w))
+	fmt.Printf("two-layer %d-out-of-%d:  %8d units  %8.2f Gb  (m=%d, sizes %s)\n",
+		kk, *n, two, costmodel.Gigabits(two*w), m, compact(sizes))
+	fmt.Printf("reduction: %.2fx\n", float64(base)/float64(two))
+}
+
+func compact(sizes []int) string {
+	s := "["
+	for i, v := range sizes {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprint(v)
+		if i == 5 && len(sizes) > 7 {
+			return s + fmt.Sprintf(" …×%d]", len(sizes)-6)
+		}
+	}
+	return s + "]"
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

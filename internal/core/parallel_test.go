@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sac"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	models := randModels(r, 20, 64)
+	run := func(parallel bool) ([]float64, int64) {
+		sys, err := NewSystem(Config{
+			Sizes: []int{5, 5, 5, 5}, K: []int{3}, Parallel: parallel,
+		}, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Aggregate(models, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Global, res.Bytes
+	}
+	seqGlobal, seqBytes := run(false)
+	parGlobal, parBytes := run(true)
+	// Identical rng seeding per subgroup ⇒ the same aggregate up to
+	// floating-point summation order (the SAC engine sums subtotals in
+	// map order) and exactly the same traffic.
+	if d := maxAbsDiff(seqGlobal, parGlobal); d > 1e-9 {
+		t.Fatalf("parallel aggregation changed the result by %v", d)
+	}
+	if seqBytes != parBytes {
+		t.Fatalf("bytes differ: %d vs %d", seqBytes, parBytes)
+	}
+}
+
+func TestParallelWithCrashes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	models := randModels(r, 9, 8)
+	sys, err := NewSystem(Config{Sizes: []int{3, 3, 3}, K: []int{2}, Parallel: true}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := map[int]sac.CrashPlan{
+		0: {2: sac.AfterShares},
+		2: {1: sac.AfterShares},
+	}
+	res, err := sys.Aggregate(models, nil, crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AfterShares dropouts still contribute their models.
+	if d := maxAbsDiff(res.Global, mean(models)); d > 1e-9 {
+		t.Fatalf("avg off by %v", d)
+	}
+}
+
+func BenchmarkAggregateSequential(b *testing.B) {
+	benchAggregate(b, false)
+}
+
+func BenchmarkAggregateParallel(b *testing.B) {
+	benchAggregate(b, true)
+}
+
+func benchAggregate(b *testing.B, parallel bool) {
+	b.Helper()
+	r := rand.New(rand.NewSource(5))
+	const dim = 1 << 14
+	models := randModels(r, 30, dim)
+	sys, err := NewSystem(Config{
+		Sizes: []int{5, 5, 5, 5, 5, 5}, K: []int{3}, Parallel: parallel,
+	}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Aggregate(models, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSelectClients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	all := selectClients(5, 0, rng)
+	for _, s := range all {
+		if !s {
+			t.Fatal("fraction 0 must select everybody")
+		}
+	}
+	all = selectClients(5, 1, rng)
+	for _, s := range all {
+		if !s {
+			t.Fatal("fraction 1 must select everybody")
+		}
+	}
+	half := selectClients(10, 0.5, rng)
+	n := 0
+	for _, s := range half {
+		if s {
+			n++
+		}
+	}
+	if n != 5 {
+		t.Fatalf("selected %d of 10 at fraction 0.5", n)
+	}
+	one := selectClients(10, 0.01, rng)
+	n = 0
+	for _, s := range one {
+		if s {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("tiny fraction must still select one peer, got %d", n)
+	}
+}
+
+func TestRunTrainingWithClientSelection(t *testing.T) {
+	cfg := tinyTrainerConfig(false, []int{3, 3}, dataset.IID, 51)
+	cfg.ClientFraction = 0.5
+	cfg.Rounds = 12
+	s, err := RunTraining(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FinalAcc() < 0.5 {
+		t.Fatalf("accuracy with 50%% participation = %v", s.FinalAcc())
+	}
+}
+
+func TestRunTrainingClientFractionValidation(t *testing.T) {
+	cfg := tinyTrainerConfig(false, []int{3}, dataset.IID, 52)
+	cfg.ClientFraction = 1.5
+	if _, err := RunTraining(cfg); err == nil {
+		t.Fatal("want error for fraction > 1")
+	}
+}

@@ -1,0 +1,36 @@
+package costmodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+)
+
+// The paper's headline: two-layer fault-tolerant aggregation at 30 peers
+// is 10.36× cheaper than one-layer SAC.
+func ExampleReduction() {
+	r, _ := costmodel.Reduction(30, 10, 3, 2) // N=30, m=10, n=3, k=2
+	fmt.Printf("%.2fx\n", r)
+	// Output: 10.36x
+}
+
+// Eq. 4: the two-layer n-out-of-n cost in units of |w|.
+func ExampleTwoLayerUnits() {
+	units, _ := costmodel.TwoLayerUnits(6, 5) // m=6 subgroups of n=5
+	w := costmodel.WeightBytes(costmodel.PaperCNNParams, costmodel.BytesPerParam32)
+	fmt.Printf("%d units = %.2f Gb for the paper's CNN\n", units, costmodel.Gigabits(units*w))
+	// Output: 178 units = 7.12 Gb for the paper's CNN
+}
+
+// Eq. 10: X-layer aggregation stays O(nN) no matter the depth.
+func ExampleMultiLayerUnits() {
+	for x := 1; x <= 3; x++ {
+		n, _ := costmodel.MultiLayerPeers(3, x)
+		u, _ := costmodel.MultiLayerUnits(3, x)
+		fmt.Printf("X=%d: %d peers, %d units\n", x, n, u)
+	}
+	// Output:
+	// X=1: 3 peers, 10 units
+	// X=2: 9 peers, 40 units
+	// X=3: 21 peers, 100 units
+}

@@ -1,0 +1,102 @@
+package costmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// LinkModel describes the per-peer network capability used by the
+// round-time analysis: full-duplex bandwidth and one-way propagation
+// latency. Transfers from one peer serialize on its uplink; transfers of
+// different peers proceed in parallel.
+type LinkModel struct {
+	// BandwidthBps is the per-peer up/down bandwidth in bytes/second.
+	BandwidthBps float64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+}
+
+func (l LinkModel) validate() error {
+	if l.BandwidthBps <= 0 {
+		return fmt.Errorf("costmodel: bandwidth %v must be positive", l.BandwidthBps)
+	}
+	if l.Latency < 0 {
+		return fmt.Errorf("costmodel: negative latency")
+	}
+	return nil
+}
+
+// transfer returns the wall time for one peer to push `bytes` through
+// its uplink plus propagation.
+func (l LinkModel) transfer(bytes int64) time.Duration {
+	return l.Latency + time.Duration(float64(bytes)/l.BandwidthBps*float64(time.Second))
+}
+
+// RoundTime estimates the wall-clock duration of one two-layer
+// aggregation round with k-out-of-n subgroups (the paper analyzes bytes
+// only — this model adds the time dimension, which is what the
+// subgrouping actually buys: subgroup SACs run in parallel).
+//
+// Phase model (per-peer serialized uplinks, cross-peer parallelism):
+//
+//  1. share exchange   — every peer uploads (n−1)(n−k+1)·|w|
+//  2. subtotal collect — K−1 peers send one subtotal each in parallel
+//  3. FedAvg upload    — m−1 leaders send their aggregate in parallel
+//  4. FedAvg download  — the leader serializes m−1 copies of the model
+//  5. broadcast        — each subgroup leader serializes n−1 copies
+//
+// All m subgroups run phases 1–2 concurrently. Returns the total and a
+// per-phase breakdown.
+func RoundTime(m, n, k int, weightBytes int64, link LinkModel) (time.Duration, []time.Duration, error) {
+	if m < 1 || n < 1 {
+		return 0, nil, fmt.Errorf("costmodel: m=%d n=%d", m, n)
+	}
+	if k < 1 || k > n {
+		return 0, nil, fmt.Errorf("costmodel: k=%d out of [1,%d]", k, n)
+	}
+	if err := link.validate(); err != nil {
+		return 0, nil, err
+	}
+	w := weightBytes
+	phases := []time.Duration{
+		// 1: each peer pushes (n−1)(n−k+1) share vectors.
+		link.transfer(int64(n-1) * int64(n-k+1) * w),
+		// 2: subtotal owners push one |w| each, concurrently.
+		link.transfer(w),
+		// 3: subgroup leaders push one |w| each, concurrently.
+		link.transfer(w),
+		// 4: the FedAvg leader serializes m−1 downloads.
+		link.transfer(int64(m-1) * w),
+		// 5: each subgroup leader serializes n−1 broadcasts.
+		link.transfer(int64(n-1) * w),
+	}
+	if n == 1 {
+		phases[0], phases[1] = 0, 0
+	}
+	if m == 1 {
+		phases[2], phases[3] = 0, 0
+	}
+	total := time.Duration(0)
+	for _, p := range phases {
+		total += p
+	}
+	return total, phases, nil
+}
+
+// BaselineRoundTime estimates the wall time of the original one-layer
+// SAC (Alg. 2): every peer uploads N−1 shares, then broadcasts its
+// subtotal to N−1 peers, all uplinks serialized per peer.
+func BaselineRoundTime(n int, weightBytes int64, link LinkModel) (time.Duration, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("costmodel: N = %d", n)
+	}
+	if err := link.validate(); err != nil {
+		return 0, err
+	}
+	if n == 1 {
+		return 0, nil
+	}
+	shares := link.transfer(int64(n-1) * weightBytes)
+	subtotals := link.transfer(int64(n-1) * weightBytes)
+	return shares + subtotals, nil
+}

@@ -1,0 +1,124 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+var gigabitLink = LinkModel{BandwidthBps: 125e6, Latency: 15 * time.Millisecond} // 1 Gb/s, 15 ms
+
+func TestRoundTimeValidation(t *testing.T) {
+	if _, _, err := RoundTime(0, 3, 3, 100, gigabitLink); err == nil {
+		t.Fatal("want error for m=0")
+	}
+	if _, _, err := RoundTime(2, 3, 4, 100, gigabitLink); err == nil {
+		t.Fatal("want error for k>n")
+	}
+	if _, _, err := RoundTime(2, 3, 3, 100, LinkModel{}); err == nil {
+		t.Fatal("want error for zero bandwidth")
+	}
+	if _, _, err := RoundTime(2, 3, 3, 100, LinkModel{BandwidthBps: 1, Latency: -time.Second}); err == nil {
+		t.Fatal("want error for negative latency")
+	}
+	if _, err := BaselineRoundTime(0, 100, gigabitLink); err == nil {
+		t.Fatal("want error for N=0")
+	}
+	if _, err := BaselineRoundTime(3, 100, LinkModel{}); err == nil {
+		t.Fatal("want error for bad link")
+	}
+}
+
+func TestRoundTimePhases(t *testing.T) {
+	total, phases, err := RoundTime(3, 5, 5, 1000, gigabitLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 5 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	sum := time.Duration(0)
+	for _, p := range phases {
+		if p < 0 {
+			t.Fatal("negative phase")
+		}
+		sum += p
+	}
+	if sum != total {
+		t.Fatalf("total %v != phase sum %v", total, sum)
+	}
+}
+
+// The time story the byte counts miss: subgrouping shortens rounds both
+// by moving fewer bytes AND by running subgroup SACs in parallel.
+func TestTwoLayerRoundFasterThanBaseline(t *testing.T) {
+	w := WeightBytes(PaperCNNParams, BytesPerParam32) // ≈ 5 MB
+	base, err := BaselineRoundTime(30, w, gigabitLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, _, err := RoundTime(6, 5, 5, w, gigabitLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two >= base {
+		t.Fatalf("two-layer round %v not faster than baseline %v", two, base)
+	}
+	// The speedup should be substantial (the paper's 10× byte reduction
+	// translates to several-fold wall-clock at these parameters).
+	if float64(base)/float64(two) < 3 {
+		t.Fatalf("round-time speedup only %.2fx", float64(base)/float64(two))
+	}
+}
+
+// Fault tolerance costs time as well as bytes: k<n ships more shares.
+func TestFaultToleranceCostsTime(t *testing.T) {
+	w := int64(1 << 20)
+	nn, _, err := RoundTime(6, 5, 5, w, gigabitLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, _, err := RoundTime(6, 5, 3, w, gigabitLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kn <= nn {
+		t.Fatalf("k-out-of-n round %v not above n-out-of-n %v", kn, nn)
+	}
+}
+
+// Latency floor: with huge bandwidth the round collapses to a few RTTs.
+func TestRoundTimeLatencyFloor(t *testing.T) {
+	link := LinkModel{BandwidthBps: 1e15, Latency: 10 * time.Millisecond}
+	total, phases, err := RoundTime(4, 5, 5, 1<<20, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(len(phases)) * 10 * time.Millisecond
+	if total < want || total > want+time.Millisecond {
+		t.Fatalf("total %v, want ≈ %v (pure latency)", total, want)
+	}
+}
+
+func TestDegenerateShapes(t *testing.T) {
+	// m=1: no FedAvg layer phases.
+	_, phases, err := RoundTime(1, 5, 5, 1000, gigabitLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phases[2] != 0 || phases[3] != 0 {
+		t.Fatal("m=1 must skip FedAvg phases")
+	}
+	// n=1: no SAC phases.
+	_, phases, err = RoundTime(5, 1, 1, 1000, gigabitLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phases[0] != 0 || phases[1] != 0 {
+		t.Fatal("n=1 must skip SAC phases")
+	}
+	// Single-peer baseline does nothing.
+	d, err := BaselineRoundTime(1, 1000, gigabitLink)
+	if err != nil || d != 0 {
+		t.Fatalf("baseline(1) = %v, %v", d, err)
+	}
+}

@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PartitionDirichlet splits train among numPeers using the Dirichlet
+// label-skew model standard in the federated-learning literature (and a
+// generalization of the paper's two-main-classes scheme): for each class
+// the per-peer proportions are drawn from Dir(alpha, …, alpha). Small
+// alpha (≈0.1) concentrates each class on few peers (heavy skew); large
+// alpha approaches IID.
+func PartitionDirichlet(train *Dataset, numPeers int, alpha float64, rng *rand.Rand) ([]*Dataset, error) {
+	if numPeers < 1 {
+		return nil, fmt.Errorf("dataset: numPeers = %d", numPeers)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("dataset: dirichlet alpha %v must be positive", alpha)
+	}
+	if train.Len() < numPeers {
+		return nil, fmt.Errorf("dataset: %d samples cannot cover %d peers", train.Len(), numPeers)
+	}
+	// Pools per class, shuffled.
+	pools := make([][]int, train.Classes)
+	for i, s := range train.Samples {
+		pools[s.Label] = append(pools[s.Label], i)
+	}
+	idxByPeer := make([][]int, numPeers)
+	for _, pool := range pools {
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		props := dirichlet(numPeers, alpha, rng)
+		// Convert proportions to contiguous slice boundaries.
+		start := 0
+		for p := 0; p < numPeers; p++ {
+			count := int(props[p]*float64(len(pool)) + 0.5)
+			if p == numPeers-1 {
+				count = len(pool) - start
+			}
+			if start+count > len(pool) {
+				count = len(pool) - start
+			}
+			idxByPeer[p] = append(idxByPeer[p], pool[start:start+count]...)
+			start += count
+		}
+	}
+	// Guarantee non-empty shards: move one sample from the largest shard
+	// into any empty one.
+	for p := range idxByPeer {
+		for len(idxByPeer[p]) == 0 {
+			largest := 0
+			for q := range idxByPeer {
+				if len(idxByPeer[q]) > len(idxByPeer[largest]) {
+					largest = q
+				}
+			}
+			if len(idxByPeer[largest]) < 2 {
+				return nil, fmt.Errorf("dataset: not enough samples to fill %d peers", numPeers)
+			}
+			n := len(idxByPeer[largest])
+			idxByPeer[p] = append(idxByPeer[p], idxByPeer[largest][n-1])
+			idxByPeer[largest] = idxByPeer[largest][:n-1]
+		}
+	}
+	parts := make([]*Dataset, numPeers)
+	for p, idx := range idxByPeer {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		parts[p] = train.Subset(idx)
+	}
+	return parts, nil
+}
+
+// dirichlet samples Dir(alpha, …, alpha) over n coordinates via gamma
+// draws normalized to 1.
+func dirichlet(n int, alpha float64, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	sum := 0.0
+	for i := range out {
+		out[i] = gammaSample(alpha, rng)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Degenerate draw; fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gammaSample draws from Gamma(shape, 1) using Marsaglia & Tsang's
+// method, with the standard boost for shape < 1.
+func gammaSample(shape float64, rng *rand.Rand) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) · U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(shape+1, rng) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / (3.0 * math.Sqrt(d))
+	for {
+		x := rng.NormFloat64()
+		v := 1.0 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u == 0 {
+			continue
+		}
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}

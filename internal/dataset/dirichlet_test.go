@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDirichletPartitionBasics(t *testing.T) {
+	train, _, err := Generate(Tiny(5, 1000, 10, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	parts, err := PartitionDirichlet(train, 8, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 8 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for i, p := range parts {
+		if p.Len() == 0 {
+			t.Fatalf("peer %d has no samples", i)
+		}
+		total += p.Len()
+	}
+	if total != train.Len() {
+		t.Fatalf("partition total %d != %d", total, train.Len())
+	}
+}
+
+func TestDirichletSkewByAlpha(t *testing.T) {
+	// Smaller alpha → more label concentration per peer. Measure the
+	// mean (over peers) of the max class share.
+	train, _, err := Generate(Tiny(5, 2000, 10, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxShare := func(alpha float64, seed int64) float64 {
+		parts, err := PartitionDirichlet(train, 10, alpha, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, p := range parts {
+			best := 0
+			for _, n := range p.ClassCounts() {
+				if n > best {
+					best = n
+				}
+			}
+			sum += float64(best) / float64(p.Len())
+		}
+		return sum / float64(len(parts))
+	}
+	skewed := maxShare(0.1, 2)
+	mild := maxShare(100, 3)
+	if skewed <= mild {
+		t.Fatalf("alpha=0.1 share %.3f not above alpha=100 share %.3f", skewed, mild)
+	}
+	// alpha→∞ approaches IID: max share near 1/classes = 0.2.
+	if math.Abs(mild-0.2) > 0.1 {
+		t.Fatalf("alpha=100 share %.3f should be near 0.2", mild)
+	}
+	if skewed < 0.4 {
+		t.Fatalf("alpha=0.1 share %.3f should be heavily skewed", skewed)
+	}
+}
+
+func TestDirichletErrors(t *testing.T) {
+	train, _, err := Generate(Tiny(3, 50, 5, 47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if _, err := PartitionDirichlet(train, 0, 1, rng); err == nil {
+		t.Fatal("want error for 0 peers")
+	}
+	if _, err := PartitionDirichlet(train, 3, 0, rng); err == nil {
+		t.Fatal("want error for alpha = 0")
+	}
+	if _, err := PartitionDirichlet(train, 100, 1, rng); err == nil {
+		t.Fatal("want error for too many peers")
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	// Gamma(k, 1) has mean k and variance k.
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []float64{0.5, 1, 3} {
+		const n = 20000
+		sum, ss := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := gammaSample(k, rng)
+			sum += x
+			ss += x * x
+		}
+		mean := sum / n
+		variance := ss/n - mean*mean
+		if math.Abs(mean-k) > 0.1*k+0.05 {
+			t.Fatalf("Gamma(%v) mean = %v", k, mean)
+		}
+		if math.Abs(variance-k) > 0.2*k+0.1 {
+			t.Fatalf("Gamma(%v) variance = %v", k, variance)
+		}
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, alpha := range []float64{0.1, 1, 10} {
+		props := dirichlet(7, alpha, rng)
+		sum := 0.0
+		for _, p := range props {
+			if p < 0 {
+				t.Fatalf("negative proportion %v", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("alpha=%v: proportions sum to %v", alpha, sum)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// runners maps experiment names to their drivers. Extension experiments
+// (ext*) explore the features this reproduction adds beyond the paper's
+// evaluation; see EXPERIMENTS.md.
+var runners = map[string]func(Params) (Result, error){
+	"tab1":  func(Params) (Result, error) { return Table1(), nil },
+	"fig6":  func(p Params) (Result, error) { return Fig6(p) },
+	"fig7":  func(p Params) (Result, error) { return Fig7(p) },
+	"fig8":  func(p Params) (Result, error) { return Fig8(p) },
+	"fig9":  func(p Params) (Result, error) { return Fig9(p) },
+	"fig10": func(p Params) (Result, error) { return Fig10(p) },
+	"fig11": func(p Params) (Result, error) { return Fig11(p) },
+	"fig12": func(p Params) (Result, error) { return Fig12(p) },
+	"fig13": func(p Params) (Result, error) { return Fig13(p) },
+	"fig14": func(p Params) (Result, error) { return Fig14(p) },
+	"ext1":  func(p Params) (Result, error) { return Ext1SecureUpperCost(p) },
+	"ext2":  func(p Params) (Result, error) { return Ext2DPUtility(p) },
+	"ext3":  func(p Params) (Result, error) { return Ext3RobustAggregation(p) },
+	"ext4":  func(p Params) (Result, error) { return Ext4RoundTime(p) },
+	"ext5":  func(p Params) (Result, error) { return Ext5LatencySweep(p) },
+}
+
+// Names lists all registered experiments in order.
+func Names() []string {
+	out := make([]string, 0, len(runners))
+	for name := range runners {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by name.
+func Run(name string, p Params) (Result, error) {
+	r, ok := runners[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(p)
+}

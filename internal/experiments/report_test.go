@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, []string{"tab1", "ext1"}, tiny); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Experiment report", "## tab1", "## ext1", "```"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out[:min(400, len(out))])
+		}
+	}
+}
+
+func TestWriteReportUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, []string{"nope"}, tiny); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}
+
+func TestFenceWriterEscapes(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &fenceWriter{w: &buf}
+	n, err := fw.Write([]byte("a ``` b"))
+	if err != nil || n != 7 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if strings.Contains(buf.String(), "```") {
+		t.Fatal("fence not escaped")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

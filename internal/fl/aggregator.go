@@ -1,0 +1,116 @@
+package fl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Aggregator combines the (SAC-protected) subgroup models into a global
+// model. The paper's Alg. 3 notes the system "is agnostic to the
+// aggregation algorithm, which can be chosen appropriately for each use
+// case"; FedAvg is the default, and the robust alternatives below resist
+// outlier subgroup models.
+type Aggregator interface {
+	// Aggregate combines models with per-model weights (sample counts).
+	Aggregate(models [][]float64, counts []float64) ([]float64, error)
+	// Name identifies the rule for logs.
+	Name() string
+}
+
+// FedAvg is the paper's default: the sample-count-weighted average.
+type FedAvg struct{}
+
+// Name implements Aggregator.
+func (FedAvg) Name() string { return "fedavg" }
+
+// Aggregate implements Aggregator.
+func (FedAvg) Aggregate(models [][]float64, counts []float64) ([]float64, error) {
+	return WeightedAverage(models, counts)
+}
+
+// CoordinateMedian aggregates by the per-coordinate median, ignoring the
+// sample counts — a classic robust rule that tolerates up to half the
+// inputs being arbitrary.
+type CoordinateMedian struct{}
+
+// Name implements Aggregator.
+func (CoordinateMedian) Name() string { return "coordinate-median" }
+
+// Aggregate implements Aggregator.
+func (CoordinateMedian) Aggregate(models [][]float64, counts []float64) ([]float64, error) {
+	if err := checkModels(models, counts); err != nil {
+		return nil, err
+	}
+	dim := len(models[0])
+	out := make([]float64, dim)
+	col := make([]float64, len(models))
+	for j := 0; j < dim; j++ {
+		for i, m := range models {
+			col[i] = m[j]
+		}
+		sort.Float64s(col)
+		mid := len(col) / 2
+		if len(col)%2 == 1 {
+			out[j] = col[mid]
+		} else {
+			out[j] = (col[mid-1] + col[mid]) / 2
+		}
+	}
+	return out, nil
+}
+
+// TrimmedMean drops the Trim fraction of extreme values on each side of
+// every coordinate before averaging the rest (uniformly weighted).
+type TrimmedMean struct {
+	// Trim is the fraction removed from EACH side, in [0, 0.5).
+	Trim float64
+}
+
+// Name implements Aggregator.
+func (t TrimmedMean) Name() string { return fmt.Sprintf("trimmed-mean(%.2f)", t.Trim) }
+
+// Aggregate implements Aggregator.
+func (t TrimmedMean) Aggregate(models [][]float64, counts []float64) ([]float64, error) {
+	if t.Trim < 0 || t.Trim >= 0.5 {
+		return nil, fmt.Errorf("fl: trim fraction %v out of [0, 0.5)", t.Trim)
+	}
+	if err := checkModels(models, counts); err != nil {
+		return nil, err
+	}
+	k := int(t.Trim * float64(len(models)))
+	if 2*k >= len(models) {
+		k = (len(models) - 1) / 2
+	}
+	dim := len(models[0])
+	out := make([]float64, dim)
+	col := make([]float64, len(models))
+	for j := 0; j < dim; j++ {
+		for i, m := range models {
+			col[i] = m[j]
+		}
+		sort.Float64s(col)
+		kept := col[k : len(col)-k]
+		sum := 0.0
+		for _, v := range kept {
+			sum += v
+		}
+		out[j] = sum / float64(len(kept))
+	}
+	return out, nil
+}
+
+func checkModels(models [][]float64, counts []float64) error {
+	if len(models) == 0 {
+		return fmt.Errorf("fl: no models to aggregate")
+	}
+	if counts != nil && len(counts) != len(models) {
+		return fmt.Errorf("fl: %d counts for %d models", len(counts), len(models))
+	}
+	dim := len(models[0])
+	for i, m := range models {
+		if len(m) != dim {
+			return fmt.Errorf("fl: model %d has %d weights, want %d", i, len(m), dim)
+		}
+	}
+	return nil
+}

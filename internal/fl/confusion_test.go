@@ -1,0 +1,91 @@
+package fl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	cm, err := NewConfusionMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{{0, 0}, {0, 0}, {0, 1}, {1, 1}, {2, 2}, {2, 0}}
+	for _, p := range pairs {
+		if err := cm.Add(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cm.Accuracy(); math.Abs(got-4.0/6.0) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	rec := cm.PerClassRecall()
+	if math.Abs(rec[0]-2.0/3.0) > 1e-12 || rec[1] != 1 || rec[2] != 0.5 {
+		t.Fatalf("recall = %v", rec)
+	}
+	if !strings.Contains(cm.String(), "acc 66.7%") {
+		t.Fatalf("string:\n%s", cm.String())
+	}
+}
+
+func TestConfusionMatrixValidation(t *testing.T) {
+	if _, err := NewConfusionMatrix(1); err == nil {
+		t.Fatal("want error for 1 class")
+	}
+	cm, err := NewConfusionMatrix(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.Add(2, 0); err == nil {
+		t.Fatal("want range error")
+	}
+	if err := cm.Add(0, -1); err == nil {
+		t.Fatal("want range error")
+	}
+	if cm.Accuracy() != 0 {
+		t.Fatal("empty matrix accuracy must be 0")
+	}
+	if cm.PerClassRecall()[0] != 0 {
+		t.Fatal("empty class recall must be 0")
+	}
+}
+
+func TestConfusionOnTrainedModel(t *testing.T) {
+	train, test, err := dataset.Generate(dataset.Tiny(3, 150, 90, 71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTinyClient(t, 0, train, 72)
+	for r := 0; r < 6; r++ {
+		if _, err := c.TrainRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cm, err := Confusion(c.Model, test, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The matrix's accuracy must agree with EvaluateModel.
+	acc, _, err := EvaluateModel(c.Model, test, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cm.Accuracy()-acc) > 1e-9 {
+		t.Fatalf("confusion accuracy %v != evaluate %v", cm.Accuracy(), acc)
+	}
+	total := 0
+	for _, row := range cm.Counts {
+		for _, n := range row {
+			total += n
+		}
+	}
+	if total != test.Len() {
+		t.Fatalf("matrix covers %d of %d samples", total, test.Len())
+	}
+	if _, err := Confusion(c.Model, &dataset.Dataset{Channels: 1, Size: 8, Classes: 3}, true); err == nil {
+		t.Fatal("want error for empty test set")
+	}
+}

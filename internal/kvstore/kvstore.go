@@ -1,0 +1,167 @@
+// Package kvstore is a replicated key-value state machine on top of the
+// raft substrate — the canonical consensus application, included to
+// validate (and demonstrate) the full raft contract: commands enter via
+// Propose, replicas apply committed entries in order, and snapshots
+// capture/restore the state for log compaction and slow-follower
+// catch-up. The two-layer cluster uses the same contract for its
+// FedAvg-configuration log.
+package kvstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/raft"
+)
+
+// Op is one state-machine command.
+type Op struct {
+	// Kind is "set" or "delete".
+	Kind  string `json:"kind"`
+	Key   string `json:"key"`
+	Value string `json:"value,omitempty"`
+}
+
+// EncodeSet builds the payload of a set command.
+func EncodeSet(key, value string) []byte {
+	b, err := json.Marshal(Op{Kind: "set", Key: key, Value: value})
+	if err != nil {
+		panic(err) // three string fields cannot fail to marshal
+	}
+	return b
+}
+
+// EncodeDelete builds the payload of a delete command.
+func EncodeDelete(key string) []byte {
+	b, err := json.Marshal(Op{Kind: "delete", Key: key})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Store is one replica's state machine. It is safe for concurrent reads
+// while a driver goroutine applies entries.
+type Store struct {
+	mu      sync.RWMutex
+	data    map[string]string
+	applied uint64
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{data: make(map[string]string)}
+}
+
+// Apply consumes one committed entry (in log order). Non-normal entries
+// and undecodable payloads are ignored, matching a state machine that
+// shares the log with other concerns.
+func (s *Store) Apply(e raft.Entry) {
+	if e.Type != raft.EntryNormal || len(e.Data) == 0 {
+		return
+	}
+	var op Op
+	if err := json.Unmarshal(e.Data, &op); err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.Index <= s.applied {
+		return // replay protection
+	}
+	s.applied = e.Index
+	switch op.Kind {
+	case "set":
+		s.data[op.Key] = op.Value
+	case "delete":
+		delete(s.data, op.Key)
+	}
+}
+
+// Get reads one key.
+func (s *Store) Get(key string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Keys returns all keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppliedIndex returns the last applied log index.
+func (s *Store) AppliedIndex() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied
+}
+
+// snapshotState is the serialized form for raft snapshots.
+type snapshotState struct {
+	Applied uint64            `json:"applied"`
+	Data    map[string]string `json:"data"`
+}
+
+// Snapshot serializes the full state, suitable for raft.Config's
+// SnapshotState callback or an explicit Compact.
+func (s *Store) Snapshot() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, err := json.Marshal(snapshotState{Applied: s.applied, Data: s.data})
+	if err != nil {
+		panic(err) // map[string]string cannot fail to marshal
+	}
+	return b
+}
+
+// Restore replaces the state with a Snapshot payload (as delivered by
+// raft.Ready.InstalledSnapshot).
+func (s *Store) Restore(data []byte) error {
+	var st snapshotState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("kvstore: restore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applied = st.Applied
+	s.data = st.Data
+	if s.data == nil {
+		s.data = make(map[string]string)
+	}
+	return nil
+}
+
+// Equal reports whether two replicas hold identical state (for tests).
+func Equal(a, b *Store) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if len(a.data) != len(b.data) {
+		return false
+	}
+	for k, v := range a.data {
+		if b.data[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,211 @@
+// Package live runs the system in real time: each Raft node is owned by
+// a driver goroutine ticked by a wall-clock timer, messages travel
+// through a router (in-process channels with loss-on-backpressure, or
+// any transport with the same contract), and the aggregation layer reads
+// leadership from the drivers' published status — the real-time
+// counterpart of the discrete-event harness in internal/simnet, used
+// when the system must run against actual time (as in cmd/p2pfl-node)
+// rather than virtual time.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/raft"
+)
+
+// Router delivers raft messages between live drivers. Sends are
+// non-blocking: a full inbox drops the message (Raft tolerates loss via
+// retransmission), so a slow peer cannot stall the others.
+type Router struct {
+	mu     sync.RWMutex
+	routes map[uint64]chan raft.Message
+}
+
+// NewRouter creates an empty router.
+func NewRouter() *Router {
+	return &Router{routes: make(map[uint64]chan raft.Message)}
+}
+
+// register adds a driver's inbox; unregister removes it (crash).
+func (r *Router) register(id uint64, ch chan raft.Message) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.routes[id]; ok {
+		return fmt.Errorf("live: node %d already registered", id)
+	}
+	r.routes[id] = ch
+	return nil
+}
+
+func (r *Router) unregister(id uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.routes, id)
+}
+
+// Send routes one message; unknown destinations and full inboxes drop it.
+func (r *Router) Send(m raft.Message) {
+	r.mu.RLock()
+	ch, ok := r.routes[m.To]
+	r.mu.RUnlock()
+	if !ok {
+		return
+	}
+	select {
+	case ch <- m:
+	default:
+	}
+}
+
+// Driver owns one raft.Node on a real-time loop. All node access happens
+// on the driver goroutine; callers interact through channels and the
+// atomically-published status snapshot.
+type Driver struct {
+	id     uint64
+	router *Router
+
+	in        chan raft.Message
+	proposeCh chan proposal
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+	stopOnce  sync.Once
+
+	status atomic.Value // raft.Status
+
+	// OnCommit, if set before Start, observes committed entries on the
+	// driver goroutine.
+	OnCommit func(raft.Entry)
+
+	tick time.Duration
+	node *raft.Node
+}
+
+type proposal struct {
+	data []byte
+	conf *raft.ConfChange
+	errC chan error
+}
+
+// NewDriver wraps node (which must not be touched afterwards by the
+// caller) with a real-time loop ticking every tickInterval. Call Start
+// to begin.
+func NewDriver(node *raft.Node, router *Router, tickInterval time.Duration) (*Driver, error) {
+	if tickInterval <= 0 {
+		return nil, fmt.Errorf("live: tick interval %v must be positive", tickInterval)
+	}
+	d := &Driver{
+		id:        node.ID(),
+		router:    router,
+		in:        make(chan raft.Message, 256),
+		proposeCh: make(chan proposal),
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+		tick:      tickInterval,
+		node:      node,
+	}
+	d.status.Store(node.Status())
+	if err := router.register(d.id, d.in); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Start launches the driver goroutine.
+func (d *Driver) Start() {
+	go d.run()
+}
+
+func (d *Driver) run() {
+	defer close(d.doneCh)
+	ticker := time.NewTicker(d.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		case <-ticker.C:
+			d.node.Tick()
+		case m := <-d.in:
+			_ = d.node.Step(m)
+		case p := <-d.proposeCh:
+			var err error
+			if p.conf != nil {
+				err = d.node.ProposeConfChange(*p.conf)
+			} else {
+				err = d.node.Propose(p.data)
+			}
+			p.errC <- err
+		}
+		rd := d.node.Ready()
+		for _, m := range rd.Messages {
+			d.router.Send(m)
+		}
+		if d.OnCommit != nil {
+			for _, e := range rd.Committed {
+				d.OnCommit(e)
+			}
+		}
+		d.status.Store(d.node.Status())
+	}
+}
+
+// ID returns the driven node's ID.
+func (d *Driver) ID() uint64 { return d.id }
+
+// Status returns the latest published snapshot (lock-free).
+func (d *Driver) Status() raft.Status { return d.status.Load().(raft.Status) }
+
+// Propose submits a command to the node; it returns the node's error
+// (e.g. raft.ErrNotLeader) or ErrStopped after Stop.
+func (d *Driver) Propose(data []byte) error {
+	p := proposal{data: data, errC: make(chan error, 1)}
+	select {
+	case d.proposeCh <- p:
+		return <-p.errC
+	case <-d.doneCh:
+		return ErrStopped
+	}
+}
+
+// ProposeConfChange submits a membership change.
+func (d *Driver) ProposeConfChange(cc raft.ConfChange) error {
+	p := proposal{conf: &cc, errC: make(chan error, 1)}
+	select {
+	case d.proposeCh <- p:
+		return <-p.errC
+	case <-d.doneCh:
+		return ErrStopped
+	}
+}
+
+// ErrStopped reports an operation on a stopped driver.
+var ErrStopped = fmt.Errorf("live: driver stopped")
+
+// Stop kills the driver (simulating a crash): the loop exits and the
+// router drops future messages to this node. Idempotent.
+func (d *Driver) Stop() {
+	d.stopOnce.Do(func() {
+		d.router.unregister(d.id)
+		close(d.stopCh)
+	})
+	<-d.doneCh
+}
+
+// WaitLeader polls a set of drivers until one publishes itself as leader
+// (and returns it), or the deadline passes.
+func WaitLeader(drivers []*Driver, timeout time.Duration) (*Driver, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, d := range drivers {
+			if st := d.Status(); st.State == raft.Leader {
+				return d, nil
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("live: no leader within %v", timeout)
+}

@@ -1,0 +1,235 @@
+package live
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/raft"
+)
+
+func newLiveGroup(t *testing.T, router *Router, ids []uint64, seed int64) []*Driver {
+	t.Helper()
+	var drivers []*Driver
+	for _, id := range ids {
+		node, err := raft.NewNode(raft.Config{
+			ID: id, Peers: ids,
+			// Generous timeouts so the test is robust on loaded CI hosts:
+			// ticks are 2 ms, so U(30,60) ticks = 60–120 ms.
+			ElectionTickMin: 30, ElectionTickMax: 60, HeartbeatTick: 8,
+			Rng: rand.New(rand.NewSource(seed*100 + int64(id))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDriver(node, router, 2*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drivers = append(drivers, d)
+	}
+	for _, d := range drivers {
+		d.Start()
+	}
+	t.Cleanup(func() {
+		for _, d := range drivers {
+			d.Stop()
+		}
+	})
+	return drivers
+}
+
+func TestLiveElectionAndReplication(t *testing.T) {
+	router := NewRouter()
+	drivers := newLiveGroup(t, router, []uint64{1, 2, 3}, 1)
+	lead, err := WaitLeader(drivers, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commits reach every node in real time (observed via the published
+	// status snapshots — OnCommit must be set before Start).
+	before := lead.Status().CommitIndex
+	if err := lead.Propose([]byte("live-entry")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		ok := true
+		for _, d := range drivers {
+			if d.Status().CommitIndex <= before {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("entry did not commit everywhere")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestLiveLeaderCrashRecovery(t *testing.T) {
+	router := NewRouter()
+	drivers := newLiveGroup(t, router, []uint64{1, 2, 3, 4, 5}, 2)
+	lead, err := WaitLeader(drivers, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead.Stop()
+	var rest []*Driver
+	for _, d := range drivers {
+		if d != lead {
+			rest = append(rest, d)
+		}
+	}
+	newLead, err := WaitLeader(rest, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newLead.ID() == lead.ID() {
+		t.Fatal("stopped driver cannot lead")
+	}
+	if newLead.Status().Term <= lead.Status().Term {
+		t.Fatal("new leader must have a later term")
+	}
+}
+
+func TestLiveProposeOnFollower(t *testing.T) {
+	router := NewRouter()
+	drivers := newLiveGroup(t, router, []uint64{1, 2, 3}, 3)
+	lead, err := WaitLeader(drivers, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range drivers {
+		if d == lead {
+			continue
+		}
+		if err := d.Propose([]byte("x")); err != raft.ErrNotLeader {
+			t.Fatalf("follower propose err = %v", err)
+		}
+		break
+	}
+}
+
+func TestLiveStoppedDriver(t *testing.T) {
+	router := NewRouter()
+	drivers := newLiveGroup(t, router, []uint64{1}, 4)
+	d := drivers[0]
+	d.Stop()
+	d.Stop() // idempotent
+	if err := d.Propose([]byte("x")); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if err := d.ProposeConfChange(raft.ConfChange{Add: true, NodeID: 9}); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	router := NewRouter()
+	node, err := raft.NewNode(raft.Config{
+		ID: 1, Peers: []uint64{1},
+		ElectionTickMin: 10, ElectionTickMax: 20, HeartbeatTick: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDriver(node, router, 0); err == nil {
+		t.Fatal("want error for zero tick")
+	}
+	if _, err := NewDriver(node, router, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate registration.
+	if _, err := NewDriver(node, router, time.Millisecond); err == nil {
+		t.Fatal("want duplicate-registration error")
+	}
+}
+
+// The full system in real time: three live Raft subgroups elect leaders
+// with wall-clock timers, the elected leaders drive two-layer SAC
+// aggregation rounds, a leader is killed mid-run, and rounds continue
+// after re-election — no simulator involved.
+func TestLiveTwoLayerAggregationWithCrash(t *testing.T) {
+	router := NewRouter()
+	// Independent routers per subgroup keep the raft groups isolated.
+	subIDs := [][]uint64{{11, 12, 13}, {21, 22, 23}, {31, 32, 33}}
+	var groups [][]*Driver
+	for gi, ids := range subIDs {
+		groups = append(groups, newLiveGroup(t, router, ids, int64(10+gi)))
+	}
+	leaders := make([]*Driver, len(groups))
+	for gi, g := range groups {
+		l, err := WaitLeader(g, 30*time.Second)
+		if err != nil {
+			t.Fatalf("subgroup %d: %v", gi, err)
+		}
+		leaders[gi] = l
+	}
+
+	leaderIdx := func() []int {
+		idx := make([]int, len(groups))
+		for gi, g := range groups {
+			idx[gi] = -1
+			for i, d := range g {
+				if d == leaders[gi] {
+					idx[gi] = i
+				}
+			}
+		}
+		return idx
+	}
+
+	sys, err := core.NewSystem(core.Config{Sizes: []int{3, 3, 3}, K: []int{2}}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(8))
+	models := make([][]float64, 9)
+	want := make([]float64, 16)
+	for i := range models {
+		m := make([]float64, 16)
+		for j := range m {
+			m[j] = r.NormFloat64()
+			want[j] += m[j] / 9
+		}
+		models[i] = m
+	}
+
+	aggregate := func() []float64 {
+		res, err := sys.AggregateRound(models, core.RoundSpec{Leaders: leaderIdx(), FedLeader: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Global
+	}
+	g1 := aggregate()
+
+	// Kill subgroup 1's leader; its raft group re-elects in real time.
+	old := leaders[1]
+	old.Stop()
+	var rest []*Driver
+	for _, d := range groups[1] {
+		if d != old {
+			rest = append(rest, d)
+		}
+	}
+	nl, err := WaitLeader(rest, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaders[1] = nl
+
+	g2 := aggregate()
+	// Both rounds produce the exact mean regardless of which peers lead.
+	for j := range want {
+		d1, d2 := g1[j]-want[j], g2[j]-want[j]
+		if d1 > 1e-9 || d1 < -1e-9 || d2 > 1e-9 || d2 < -1e-9 {
+			t.Fatal("aggregation incorrect across live leadership change")
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU creates a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "ReLU" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	y := x.Clone()
+	r.mask = make([]bool, y.Size())
+	for i, v := range y.Data() {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			y.Data()[i] = 0
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if r.mask == nil {
+		return nil, fmt.Errorf("nn: ReLU: Backward before Forward")
+	}
+	if grad.Size() != len(r.mask) {
+		return nil, fmt.Errorf("nn: ReLU: bad gradient shape %v", grad.Shape())
+	}
+	dx := grad.Clone()
+	for i, keep := range r.mask {
+		if !keep {
+			dx.Data()[i] = 0
+		}
+	}
+	return dx, nil
+}
+
+// Flatten reshapes [batch, ...] activations to [batch, features].
+type Flatten struct {
+	lastShape []int
+}
+
+// NewFlatten creates a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "Flatten" }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() < 2 {
+		return nil, fmt.Errorf("nn: Flatten: bad input shape %v", x.Shape())
+	}
+	f.lastShape = x.Shape()
+	return x.Reshape(x.Dim(0), x.Size()/x.Dim(0))
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if f.lastShape == nil {
+		return nil, fmt.Errorf("nn: Flatten: Backward before Forward")
+	}
+	return grad.Reshape(f.lastShape...)
+}
+
+// Dropout zeroes activations with probability Rate during training and
+// scales survivors by 1/(1−Rate) (inverted dropout), so inference needs no
+// rescaling. At evaluation time it is the identity.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout creates a Dropout layer with the given drop rate in [0, 1).
+func NewDropout(rate float64, rng *rand.Rand) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.Rate) }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return x, nil
+	}
+	keep := 1 - d.Rate
+	d.mask = make([]float64, x.Size())
+	y := x.Clone()
+	for i := range d.mask {
+		if d.rng.Float64() < keep {
+			d.mask[i] = 1 / keep
+		}
+		y.Data()[i] *= d.mask[i]
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.mask == nil {
+		// Eval mode (or rate 0): identity.
+		return grad, nil
+	}
+	if grad.Size() != len(d.mask) {
+		return nil, fmt.Errorf("nn: Dropout: bad gradient shape %v", grad.Shape())
+	}
+	dx := grad.Clone()
+	for i, m := range d.mask {
+		dx.Data()[i] *= m
+	}
+	return dx, nil
+}

@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of [batch, C, H, W] activations
+// over the batch and spatial dimensions, with learnable scale γ and
+// shift β (Ioffe & Szegedy). Training mode uses minibatch statistics and
+// maintains running estimates for evaluation mode.
+//
+// Federated-learning caveat: γ and β are ordinary parameters and travel
+// in the aggregated weight vector, but the running statistics are local
+// buffers — peers' estimates drift apart under non-IID data, which is a
+// known FL issue and one reason the paper's CNN avoids BatchNorm.
+type BatchNorm2D struct {
+	c   int
+	eps float64
+	// Momentum of the running-stat update (fraction of the old value
+	// kept); 0.9 by default.
+	momentum float64
+
+	gamma, beta *Param
+
+	runMean, runVar []float64
+
+	// forward cache (training mode)
+	lastXHat *tensor.Tensor
+	lastStd  []float64 // per-channel √(σ²+ε)
+	lastMean []float64
+	lastX    *tensor.Tensor
+}
+
+// NewBatchNorm2D creates a BatchNorm over c channels (γ=1, β=0).
+func NewBatchNorm2D(c int) *BatchNorm2D {
+	b := &BatchNorm2D{
+		c:        c,
+		eps:      1e-5,
+		momentum: 0.9,
+		gamma:    newParam(fmt.Sprintf("bn_%d.gamma", c), c),
+		beta:     newParam(fmt.Sprintf("bn_%d.beta", c), c),
+		runMean:  make([]float64, c),
+		runVar:   make([]float64, c),
+	}
+	b.gamma.W.Fill(1)
+	for i := range b.runVar {
+		b.runVar[i] = 1
+	}
+	return b
+}
+
+// Name implements Layer.
+func (b *BatchNorm2D) Name() string { return fmt.Sprintf("BatchNorm2D(%d)", b.c) }
+
+// Params implements Layer.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.gamma, b.beta} }
+
+// Forward implements Layer.
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() != 4 || x.Dim(1) != b.c {
+		return nil, fmt.Errorf("nn: %s: bad input shape %v", b.Name(), x.Shape())
+	}
+	batch, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	n := batch * h * w
+	y := tensor.New(x.Shape()...)
+	xd, yd := x.Data(), y.Data()
+	g, be := b.gamma.W.Data(), b.beta.W.Data()
+
+	if !train {
+		for ch := 0; ch < b.c; ch++ {
+			inv := 1 / math.Sqrt(b.runVar[ch]+b.eps)
+			for bi := 0; bi < batch; bi++ {
+				base := ((bi*b.c + ch) * h) * w
+				for i := 0; i < h*w; i++ {
+					yd[base+i] = g[ch]*(xd[base+i]-b.runMean[ch])*inv + be[ch]
+				}
+			}
+		}
+		b.lastXHat = nil
+		return y, nil
+	}
+
+	xhat := tensor.New(x.Shape()...)
+	xhd := xhat.Data()
+	b.lastStd = make([]float64, b.c)
+	b.lastMean = make([]float64, b.c)
+	for ch := 0; ch < b.c; ch++ {
+		sum := 0.0
+		for bi := 0; bi < batch; bi++ {
+			base := ((bi*b.c + ch) * h) * w
+			for i := 0; i < h*w; i++ {
+				sum += xd[base+i]
+			}
+		}
+		mean := sum / float64(n)
+		ss := 0.0
+		for bi := 0; bi < batch; bi++ {
+			base := ((bi*b.c + ch) * h) * w
+			for i := 0; i < h*w; i++ {
+				d := xd[base+i] - mean
+				ss += d * d
+			}
+		}
+		variance := ss / float64(n)
+		std := math.Sqrt(variance + b.eps)
+		b.lastMean[ch], b.lastStd[ch] = mean, std
+		b.runMean[ch] = b.momentum*b.runMean[ch] + (1-b.momentum)*mean
+		b.runVar[ch] = b.momentum*b.runVar[ch] + (1-b.momentum)*variance
+		for bi := 0; bi < batch; bi++ {
+			base := ((bi*b.c + ch) * h) * w
+			for i := 0; i < h*w; i++ {
+				xh := (xd[base+i] - mean) / std
+				xhd[base+i] = xh
+				yd[base+i] = g[ch]*xh + be[ch]
+			}
+		}
+	}
+	b.lastXHat = xhat
+	b.lastX = x
+	return y, nil
+}
+
+// Backward implements Layer (training-mode statistics).
+func (b *BatchNorm2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if b.lastXHat == nil {
+		return nil, fmt.Errorf("nn: %s: Backward before training-mode Forward", b.Name())
+	}
+	if !tensor.SameShape(grad, b.lastXHat) {
+		return nil, fmt.Errorf("nn: %s: bad gradient shape %v", b.Name(), grad.Shape())
+	}
+	batch, h, w := grad.Dim(0), grad.Dim(2), grad.Dim(3)
+	n := float64(batch * h * w)
+	dx := tensor.New(grad.Shape()...)
+	gd, xhd, dxd := grad.Data(), b.lastXHat.Data(), dx.Data()
+	g := b.gamma.W.Data()
+	dgamma, dbeta := b.gamma.G.Data(), b.beta.G.Data()
+
+	for ch := 0; ch < b.c; ch++ {
+		var sumDy, sumDyXhat float64
+		for bi := 0; bi < batch; bi++ {
+			base := ((bi*b.c + ch) * h) * w
+			for i := 0; i < h*w; i++ {
+				sumDy += gd[base+i]
+				sumDyXhat += gd[base+i] * xhd[base+i]
+			}
+		}
+		dgamma[ch] += sumDyXhat
+		dbeta[ch] += sumDy
+		// dx = γ/std · (dy − mean(dy) − xhat·mean(dy·xhat))
+		inv := g[ch] / b.lastStd[ch]
+		for bi := 0; bi < batch; bi++ {
+			base := ((bi*b.c + ch) * h) * w
+			for i := 0; i < h*w; i++ {
+				dxd[base+i] = inv * (gd[base+i] - sumDy/n - xhd[base+i]*sumDyXhat/n)
+			}
+		}
+	}
+	return dx, nil
+}

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestBatchNormForwardNormalizes(t *testing.T) {
+	bn := NewBatchNorm2D(2)
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 4, 2, 3, 3)
+	// Shift channel 1 far away to verify per-channel normalization.
+	for bi := 0; bi < 4; bi++ {
+		for i := 0; i < 9; i++ {
+			x.Data()[(bi*2+1)*9+i] += 100
+		}
+	}
+	y, err := bn.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-channel mean ≈ 0, variance ≈ 1 (γ=1, β=0).
+	for ch := 0; ch < 2; ch++ {
+		var sum, ss float64
+		for bi := 0; bi < 4; bi++ {
+			for i := 0; i < 9; i++ {
+				v := y.Data()[(bi*2+ch)*9+i]
+				sum += v
+				ss += v * v
+			}
+		}
+		mean := sum / 36
+		variance := ss/36 - mean*mean
+		if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("channel %d: mean=%v var=%v", ch, mean, variance)
+		}
+	}
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewModel(
+		NewConv2D(1, 2, 3, PadSame, rng),
+		NewBatchNorm2D(2),
+		NewReLU(),
+		NewFlatten(),
+		NewDense(2*4*4, 3, rng),
+	)
+	x := randTensor(rng, 3, 1, 4, 4)
+	labels := []int{0, 1, 2}
+	checkGradients(t, m, x, labels, 2e-4)
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm2D(1)
+	rng := rand.New(rand.NewSource(3))
+	// Feed training batches with mean 5, std 2.
+	for i := 0; i < 200; i++ {
+		x := tensor.New(8, 1, 2, 2)
+		for j := range x.Data() {
+			x.Data()[j] = 5 + 2*rng.NormFloat64()
+		}
+		if _, err := bn.Forward(x, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Eval on a constant input equal to the running mean → output ≈ 0.
+	x := tensor.New(1, 1, 2, 2)
+	x.Fill(5)
+	y, err := bn.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range y.Data() {
+		if math.Abs(v) > 0.2 {
+			t.Fatalf("eval output %v, want ≈ 0 (running stats off: mean %v var %v)", v, bn.runMean[0], bn.runVar[0])
+		}
+	}
+}
+
+func TestBatchNormValidation(t *testing.T) {
+	bn := NewBatchNorm2D(3)
+	if _, err := bn.Forward(tensor.New(2, 2, 4, 4), true); err == nil {
+		t.Fatal("want channel-mismatch error")
+	}
+	if _, err := bn.Forward(tensor.New(2, 3), true); err == nil {
+		t.Fatal("want rank error")
+	}
+	if _, err := bn.Backward(tensor.New(1, 3, 2, 2)); err == nil {
+		t.Fatal("want backward-before-forward error")
+	}
+	// Eval mode leaves no cache: backward must fail cleanly.
+	if _, err := bn.Forward(tensor.New(1, 3, 2, 2), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bn.Backward(tensor.New(1, 3, 2, 2)); err == nil {
+		t.Fatal("want error after eval-mode forward")
+	}
+	if got := bn.Name(); got != "BatchNorm2D(3)" {
+		t.Fatalf("name = %q", got)
+	}
+	if len(bn.Params()) != 2 {
+		t.Fatal("γ and β must be parameters")
+	}
+}
+
+func TestBatchNormInModelTrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewModel(
+		NewConv2D(1, 4, 3, PadSame, rng),
+		NewBatchNorm2D(4),
+		NewReLU(),
+		NewFlatten(),
+		NewDense(4*6*6, 2, rng),
+	)
+	x := tensor.New(8, 1, 6, 6)
+	labels := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		v := -1.0
+		if i%2 == 0 {
+			v, labels[i] = 1.0, 1
+		}
+		for j := 0; j < 36; j++ {
+			x.Data()[i*36+j] = v + 0.2*rng.NormFloat64()
+		}
+	}
+	var first, last float64
+	for step := 0; step < 40; step++ {
+		m.ZeroGrad()
+		loss, err := m.Loss(x.Clone(), labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Backward(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range m.Params() {
+			for i := range p.W.Data() {
+				p.W.Data()[i] -= 0.05 * p.G.Data()[i]
+			}
+		}
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Fatalf("BN model did not learn: %v → %v", first, last)
+	}
+}

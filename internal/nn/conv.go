@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Padding selects the spatial padding mode of a convolution.
+type Padding int
+
+const (
+	// PadValid applies no padding; output shrinks by kernel−1.
+	PadValid Padding = iota
+	// PadSame zero-pads so stride-1 output matches the input size.
+	PadSame
+)
+
+// Conv2D is a 2-D convolution over [batch, inC, H, W] inputs, implemented
+// as im2col followed by one matrix multiplication. Kernels are square
+// (k×k), stride is 1 — matching every convolution in the paper's CNN.
+type Conv2D struct {
+	inC, outC, k int
+	pad          Padding
+	w, b         *Param
+
+	// forward cache
+	lastCols            *tensor.Tensor
+	lastB, lastH, lastW int
+	lastOutH, lastOutW  int
+}
+
+// NewConv2D creates a k×k stride-1 convolution with He-normal weights.
+func NewConv2D(inC, outC, k int, pad Padding, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{
+		inC: inC, outC: outC, k: k, pad: pad,
+		w: newParam(fmt.Sprintf("conv_%dx%dx%d.w", outC, inC, k), outC, inC*k*k),
+		b: newParam(fmt.Sprintf("conv_%dx%dx%d.b", outC, inC, k), outC),
+	}
+	heInit(c.w.W, inC*k*k, rng)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%d→%d, %dx%d)", c.inC, c.outC, c.k, c.k)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+func (c *Conv2D) padPixels() int {
+	if c.pad == PadSame {
+		return (c.k - 1) / 2
+	}
+	return 0
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() != 4 || x.Dim(1) != c.inC {
+		return nil, fmt.Errorf("nn: %s: bad input shape %v", c.Name(), x.Shape())
+	}
+	b, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	cols, outH, outW, err := tensor.Im2Col(x, c.k, c.k, 1, c.padPixels())
+	if err != nil {
+		return nil, fmt.Errorf("nn: %s: %w", c.Name(), err)
+	}
+	c.lastCols, c.lastB, c.lastH, c.lastW = cols, b, h, w
+	c.lastOutH, c.lastOutW = outH, outW
+
+	// cols: [b·outH·outW, inC·k·k]; W: [outC, inC·k·k]
+	// flat = cols·Wᵀ: [b·outH·outW, outC]
+	flat, err := tensor.MatMulTransB(cols, c.w.W)
+	if err != nil {
+		return nil, err
+	}
+	bd := c.b.W.Data()
+	fd := flat.Data()
+	rows := flat.Dim(0)
+	for i := 0; i < rows; i++ {
+		row := fd[i*c.outC : (i+1)*c.outC]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	// Rearrange [b, outH, outW, outC] → [b, outC, outH, outW].
+	out := tensor.New(b, c.outC, outH, outW)
+	od := out.Data()
+	for bi := 0; bi < b; bi++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				src := ((bi*outH+oy)*outW + ox) * c.outC
+				for ch := 0; ch < c.outC; ch++ {
+					od[((bi*c.outC+ch)*outH+oy)*outW+ox] = fd[src+ch]
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.lastCols == nil {
+		return nil, fmt.Errorf("nn: %s: Backward before Forward", c.Name())
+	}
+	b, outH, outW := c.lastB, c.lastOutH, c.lastOutW
+	if grad.Rank() != 4 || grad.Dim(0) != b || grad.Dim(1) != c.outC ||
+		grad.Dim(2) != outH || grad.Dim(3) != outW {
+		return nil, fmt.Errorf("nn: %s: bad gradient shape %v", c.Name(), grad.Shape())
+	}
+	// Rearrange grad [b, outC, outH, outW] → flat [b·outH·outW, outC].
+	flat := tensor.New(b*outH*outW, c.outC)
+	fd := flat.Data()
+	gd := grad.Data()
+	for bi := 0; bi < b; bi++ {
+		for ch := 0; ch < c.outC; ch++ {
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					fd[((bi*outH+oy)*outW+ox)*c.outC+ch] = gd[((bi*c.outC+ch)*outH+oy)*outW+ox]
+				}
+			}
+		}
+	}
+	// dW += flatᵀ·cols ([outC, inC·k·k]); db += column sums of flat.
+	dw, err := tensor.MatMulTransA(flat, c.lastCols)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.w.G.AddInPlace(dw); err != nil {
+		return nil, err
+	}
+	gb := c.b.G.Data()
+	rows := flat.Dim(0)
+	for i := 0; i < rows; i++ {
+		row := fd[i*c.outC : (i+1)*c.outC]
+		for j, v := range row {
+			gb[j] += v
+		}
+	}
+	// dcols = flat·W; dx = col2im(dcols).
+	dcols, err := tensor.MatMul(flat, c.w.W)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Col2Im(dcols, b, c.inC, c.lastH, c.lastW, c.k, c.k, 1, c.padPixels())
+}

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b with W of shape
+// [out, in] and b of shape [out]. Inputs are [batch, in].
+type Dense struct {
+	in, out int
+	w, b    *Param
+	lastX   *tensor.Tensor
+}
+
+// NewDense creates a Dense layer with He-normal weights and zero biases.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		in:  in,
+		out: out,
+		w:   newParam(fmt.Sprintf("dense_%dx%d.w", out, in), out, in),
+		b:   newParam(fmt.Sprintf("dense_%dx%d.b", out, in), out),
+	}
+	heInit(d.w.W, in, rng)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("Dense(%d→%d)", d.in, d.out) }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() != 2 || x.Dim(1) != d.in {
+		return nil, fmt.Errorf("nn: %s: bad input shape %v", d.Name(), x.Shape())
+	}
+	d.lastX = x
+	y, err := tensor.MatMulTransB(x, d.w.W)
+	if err != nil {
+		return nil, err
+	}
+	batch := x.Dim(0)
+	bd := d.b.W.Data()
+	yd := y.Data()
+	for i := 0; i < batch; i++ {
+		row := yd[i*d.out : (i+1)*d.out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.lastX == nil {
+		return nil, fmt.Errorf("nn: %s: Backward before Forward", d.Name())
+	}
+	if grad.Rank() != 2 || grad.Dim(1) != d.out || grad.Dim(0) != d.lastX.Dim(0) {
+		return nil, fmt.Errorf("nn: %s: bad gradient shape %v", d.Name(), grad.Shape())
+	}
+	// dW += gradᵀ·x  ([out, in]); db += column sums of grad.
+	dw, err := tensor.MatMulTransA(grad, d.lastX)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.w.G.AddInPlace(dw); err != nil {
+		return nil, err
+	}
+	gb := d.b.G.Data()
+	gd := grad.Data()
+	batch := grad.Dim(0)
+	for i := 0; i < batch; i++ {
+		row := gd[i*d.out : (i+1)*d.out]
+		for j, v := range row {
+			gb[j] += v
+		}
+	}
+	// dx = grad·W  ([batch, in]).
+	return tensor.MatMul(grad, d.w.W)
+}

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// checkpoint is the wire format of a model's weights: a schema of
+// parameter names/sizes (to reject mismatched architectures) plus the
+// flat weight vector.
+type checkpoint struct {
+	Names   []string
+	Sizes   []int
+	Weights []float64
+}
+
+func (m *Model) schema() ([]string, []int) {
+	params := m.Params()
+	names := make([]string, len(params))
+	sizes := make([]int, len(params))
+	for i, p := range params {
+		names[i] = p.Name
+		sizes[i] = p.W.Size()
+	}
+	return names, sizes
+}
+
+// Save writes the model's weights with gob. The architecture itself is
+// not serialized — loading requires a model built with the same
+// constructor (peers in federated learning all share the architecture
+// and exchange only weights).
+func (m *Model) Save(w io.Writer) error {
+	names, sizes := m.schema()
+	cp := checkpoint{Names: names, Sizes: sizes, Weights: m.WeightVector()}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	return nil
+}
+
+// Load restores weights written by Save into this model, verifying that
+// the parameter schema matches exactly.
+func (m *Model) Load(r io.Reader) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("nn: load: %w", err)
+	}
+	names, sizes := m.schema()
+	if len(cp.Names) != len(names) {
+		return fmt.Errorf("nn: load: checkpoint has %d params, model has %d", len(cp.Names), len(names))
+	}
+	for i := range names {
+		if cp.Names[i] != names[i] || cp.Sizes[i] != sizes[i] {
+			return fmt.Errorf("nn: load: param %d is %s[%d], model expects %s[%d]",
+				i, cp.Names[i], cp.Sizes[i], names[i], sizes[i])
+		}
+	}
+	return m.SetWeightVector(cp.Weights)
+}

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := MLP(8, []int{16}, 4, rng)
+	b := MLP(8, []int{16}, 4, rand.New(rand.NewSource(2)))
+
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x := randTensor(rng, 3, 8)
+	ya, err := a.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb, err := b.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(ya, yb, 1e-12) {
+		t.Fatal("loaded model must match saved model")
+	}
+}
+
+func TestLoadRejectsMismatchedArchitecture(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := MLP(8, []int{16}, 4, rng)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Different hidden width.
+	b := MLP(8, []int{32}, 4, rng)
+	if err := b.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("want schema-mismatch error")
+	}
+	// Different depth.
+	c := MLP(8, []int{16, 16}, 4, rng)
+	if err := c.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("want param-count error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := MLP(2, nil, 2, rng)
+	if err := m.Load(bytes.NewBufferString("garbage")); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestSaveLoadCNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, err := TinyCNN(1, 8, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TinyCNN(1, 8, 3, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wa, wb := a.WeightVector(), b.WeightVector()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("CNN weights differ after load")
+		}
+	}
+}

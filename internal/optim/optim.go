@@ -1,0 +1,119 @@
+// Package optim provides the gradient-descent optimizers used by the local
+// training step of federated learning: Adam (the paper's choice, with the
+// paper's learning rate 1e-4) and plain SGD as a baseline.
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Optimizer updates model parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the gradients currently stored in the
+	// parameters, then the caller typically zeroes the gradients.
+	Step(params []*nn.Param) error
+	// Name identifies the optimizer for logs.
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*nn.Param][]float64
+}
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*nn.Param][]float64)}
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return fmt.Sprintf("SGD(lr=%g, m=%g)", s.LR, s.Momentum) }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*nn.Param) error {
+	for _, p := range params {
+		w, g := p.W.Data(), p.G.Data()
+		if s.Momentum == 0 {
+			for i := range w {
+				w[i] -= s.LR * g[i]
+			}
+			continue
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = make([]float64, len(w))
+			s.velocity[p] = v
+		}
+		for i := range w {
+			v[i] = s.Momentum*v[i] + g[i]
+			w[i] -= s.LR * v[i]
+		}
+	}
+	return nil
+}
+
+// Adam implements Kingma & Ba's Adam with bias correction. The defaults
+// match the paper's setup: lr=1e-4, β1=0.9, β2=0.999, ε=1e-8.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*nn.Param][]float64
+	v map[*nn.Param][]float64
+}
+
+// NewAdam creates an Adam optimizer with standard β/ε constants.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*nn.Param][]float64),
+		v: make(map[*nn.Param][]float64),
+	}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return fmt.Sprintf("Adam(lr=%g)", a.LR) }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*nn.Param) error {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		w, g := p.W.Data(), p.G.Data()
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(w))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, len(w))
+			a.v[p] = v
+		}
+		if len(m) != len(w) {
+			return fmt.Errorf("optim: parameter %q changed size", p.Name)
+		}
+		for i := range w {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
+			mHat := m[i] / c1
+			vHat := v[i] / c2
+			w[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+	return nil
+}
+
+// Reset clears all optimizer state (moments and step count), as when a
+// fresh global model is installed at the start of a federated round.
+func (a *Adam) Reset() {
+	a.t = 0
+	a.m = make(map[*nn.Param][]float64)
+	a.v = make(map[*nn.Param][]float64)
+}

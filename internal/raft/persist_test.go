@@ -1,0 +1,146 @@
+package raft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPersistRestoreRoundTrip(t *testing.T) {
+	c := newCluster(t, 1, 2, 3)
+	l := c.waitLeader(100)
+	if err := l.Propose([]byte("durable-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Propose([]byte("durable-2")); err != nil {
+		t.Fatal(err)
+	}
+	c.run(10)
+
+	ps := l.Persist()
+	if ps.Hard.Term != l.Term() {
+		t.Fatalf("persisted term %d != %d", ps.Hard.Term, l.Term())
+	}
+	if ps.Hard.Commit != l.CommitIndex() {
+		t.Fatalf("persisted commit %d != %d", ps.Hard.Commit, l.CommitIndex())
+	}
+	if len(ps.Log) != len(l.Log()) {
+		t.Fatal("persisted log length mismatch")
+	}
+
+	restored, err := Restore(Config{
+		ID: l.ID(), Peers: nil, // ignored: configuration comes from ps
+		ElectionTickMin: 10, ElectionTickMax: 20, HeartbeatTick: 2,
+		Rng: rand.New(rand.NewSource(9)),
+	}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.State() != Follower {
+		t.Fatalf("restored state = %v, want follower", restored.State())
+	}
+	if restored.Term() != ps.Hard.Term || restored.CommitIndex() != ps.Hard.Commit {
+		t.Fatal("restored hard state mismatch")
+	}
+	if len(restored.Members()) != 3 {
+		t.Fatalf("restored members = %v", restored.Members())
+	}
+	// The restored log is a deep copy.
+	ps.Log[0].Data = []byte("tampered")
+	if string(restored.Log()[0].Data) == "tampered" {
+		t.Fatal("restore must deep-copy the log")
+	}
+}
+
+func TestRestoreRejectsCorruptState(t *testing.T) {
+	_, err := Restore(Config{
+		ID: 1, ElectionTickMin: 10, ElectionTickMax: 20, HeartbeatTick: 2,
+	}, PersistentState{
+		Hard:  HardState{Term: 3, Commit: 5},
+		Log:   []Entry{{Index: 1, Term: 1}},
+		Peers: []uint64{1, 2, 3},
+	})
+	if err == nil {
+		t.Fatal("want error for commit beyond log")
+	}
+}
+
+func TestRestartedNodeRejoinsAndCatchesUp(t *testing.T) {
+	c := newCluster(t, 1, 2, 3)
+	l := c.waitLeader(100)
+	if err := l.Propose([]byte("before-crash")); err != nil {
+		t.Fatal(err)
+	}
+	c.run(10)
+
+	// Crash a follower, persist its state at crash time.
+	var victim uint64
+	for id := range c.nodes {
+		if id != l.ID() {
+			victim = id
+			break
+		}
+	}
+	ps := c.nodes[victim].Persist()
+	c.down[victim] = true
+
+	// Commit more entries while the victim is down.
+	for i := 0; i < 3; i++ {
+		if err := c.leader().Propose([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		c.run(5)
+	}
+
+	// Restart the victim from its persisted state.
+	restored, err := Restore(Config{
+		ID: victim, ElectionTickMin: 10, ElectionTickMax: 20, HeartbeatTick: 2,
+		Rng: rand.New(rand.NewSource(int64(victim))),
+	}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.nodes[victim] = restored
+	c.down[victim] = false
+	c.run(50)
+
+	// The rejoined node must have caught up to the leader's log.
+	lead := c.leader()
+	if restored.CommitIndex() != lead.CommitIndex() {
+		t.Fatalf("rejoined commit %d != leader %d", restored.CommitIndex(), lead.CommitIndex())
+	}
+	if len(restored.Log()) != len(lead.Log()) {
+		t.Fatalf("rejoined log %d entries != leader %d", len(restored.Log()), len(lead.Log()))
+	}
+	// Leadership was not disturbed by the rejoin.
+	if lead.ID() != l.ID() {
+		t.Fatalf("leadership changed from %d to %d on rejoin", l.ID(), lead.ID())
+	}
+}
+
+func TestRestartedLeaderDoesNotSplitBrain(t *testing.T) {
+	c := newCluster(t, 1, 2, 3, 4, 5)
+	l := c.waitLeader(100)
+	ps := l.Persist()
+	c.down[l.ID()] = true
+	nl := c.waitLeader(400)
+
+	restored, err := Restore(Config{
+		ID: l.ID(), ElectionTickMin: 10, ElectionTickMax: 20, HeartbeatTick: 2,
+		Rng: rand.New(rand.NewSource(55)),
+	}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.nodes[l.ID()] = restored
+	c.down[l.ID()] = false
+	c.run(100)
+
+	// The restarted node restarts as a follower of the new leader; at
+	// no point do two leaders share a term (checked by c.leader()).
+	if restored.State() == Leader && restored.Term() <= nl.Term() {
+		t.Fatal("restarted node reclaimed leadership in an old term")
+	}
+	if c.leader() == nil {
+		t.Fatal("no leader after rejoin")
+	}
+}

@@ -1,0 +1,848 @@
+// Package raft is a from-scratch implementation of the Raft consensus
+// algorithm (Ongaro & Ousterhout, USENIX ATC'14) covering the three
+// subproblems the paper relies on: leader election with randomized
+// timeouts U(T, 2T), log replication with the consistency check, and the
+// safety restrictions (up-to-date-log voting rule, current-term-only
+// commit), plus single-server cluster membership change — the mechanism
+// by which a newly elected subgroup leader joins the FedAvg layer.
+//
+// The node is a pure, tick-driven state machine in the style of etcd/raft:
+// time advances only through Tick(), inputs arrive only through Step(),
+// and outputs (messages to send, newly committed entries, leadership
+// changes) are collected through Ready(). This makes the node trivially
+// embeddable both in the discrete-event simulator (internal/simnet), where
+// one tick is one virtual millisecond, and in a real-time loop driven by a
+// time.Ticker (cmd/p2pfl-node).
+package raft
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// State is the role of a Raft node (Fig. 2 of the paper).
+type State int
+
+const (
+	// Follower responds to requests from leaders and candidates.
+	Follower State = iota
+	// Candidate is campaigning to become leader.
+	Candidate
+	// Leader handles all client requests and replicates the log.
+	Leader
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// None is the nil node ID (no leader known / no vote cast).
+const None uint64 = 0
+
+// EntryType distinguishes application data from configuration changes.
+type EntryType int
+
+const (
+	// EntryNormal carries application data.
+	EntryNormal EntryType = iota
+	// EntryConfChange carries a JSON-encoded ConfChange.
+	EntryConfChange
+	// EntryNoop is the empty entry a new leader appends to commit
+	// entries from previous terms.
+	EntryNoop
+)
+
+// Entry is one replicated log entry.
+type Entry struct {
+	Index uint64
+	Term  uint64
+	Type  EntryType
+	Data  []byte
+}
+
+// ConfChange is a single-server membership change.
+type ConfChange struct {
+	Add    bool   `json:"add"` // true: add node; false: remove node
+	NodeID uint64 `json:"node_id"`
+}
+
+// Encode serializes the change for an EntryConfChange payload.
+func (cc ConfChange) Encode() []byte {
+	b, err := json.Marshal(cc)
+	if err != nil {
+		panic(err) // marshalling two scalar fields cannot fail
+	}
+	return b
+}
+
+// DecodeConfChange parses an EntryConfChange payload.
+func DecodeConfChange(data []byte) (ConfChange, error) {
+	var cc ConfChange
+	if err := json.Unmarshal(data, &cc); err != nil {
+		return ConfChange{}, fmt.Errorf("raft: bad conf change: %w", err)
+	}
+	return cc, nil
+}
+
+// MsgType enumerates the Raft RPCs.
+type MsgType int
+
+const (
+	// MsgVoteRequest is the RequestVote RPC.
+	MsgVoteRequest MsgType = iota
+	// MsgVoteResponse answers a RequestVote RPC.
+	MsgVoteResponse
+	// MsgAppend is the AppendEntries RPC (also the heartbeat).
+	MsgAppend
+	// MsgAppendResponse answers an AppendEntries RPC.
+	MsgAppendResponse
+	// MsgSnapshot is the InstallSnapshot RPC, sent when a follower's
+	// next index has been compacted away (answered with MsgAppendResponse).
+	MsgSnapshot
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgVoteRequest:
+		return "RequestVote"
+	case MsgVoteResponse:
+		return "RequestVoteResp"
+	case MsgAppend:
+		return "AppendEntries"
+	case MsgAppendResponse:
+		return "AppendEntriesResp"
+	case MsgSnapshot:
+		return "InstallSnapshot"
+	default:
+		return fmt.Sprintf("msg(%d)", int(t))
+	}
+}
+
+// Message is one Raft RPC or response.
+type Message struct {
+	Type MsgType
+	From uint64
+	To   uint64
+	Term uint64
+
+	// MsgVoteRequest: candidate's log position (the voting restriction).
+	LastLogIndex uint64
+	LastLogTerm  uint64
+	// MsgVoteResponse.
+	Granted bool
+	// MsgAppend.
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []Entry
+	Commit       uint64
+	// MsgAppendResponse.
+	Reject bool
+	// Match carries the follower's last replicated index on success, or a
+	// next-index hint on rejection.
+	Match uint64
+	// MsgSnapshot.
+	Snapshot *Snapshot
+}
+
+// Snapshot is a compacted prefix of the log: everything up to and
+// including Index is replaced by the application state in Data plus the
+// membership in Peers. Followers that have fallen behind the compaction
+// point receive it via the InstallSnapshot RPC.
+type Snapshot struct {
+	Index uint64
+	Term  uint64
+	Peers []uint64
+	// Data is the opaque application state at Index (whatever the state
+	// machine's SnapshotState callback captured).
+	Data []byte
+}
+
+// Config parameterizes a node.
+type Config struct {
+	// ID is this node's non-zero identifier.
+	ID uint64
+	// Peers is the initial cluster membership, including ID. A joining
+	// node that is not yet a member passes the current members without
+	// its own ID and learns of its own addition through a ConfChange.
+	Peers []uint64
+	// ElectionTickMin/Max bound the randomized election timeout, in
+	// ticks: each timer reset samples uniformly from [Min, Max). The
+	// paper uses U(T, 2T), i.e. Min = T, Max = 2T.
+	ElectionTickMin int
+	ElectionTickMax int
+	// HeartbeatTick is the leader's heartbeat interval in ticks.
+	HeartbeatTick int
+	// Rng drives timeout randomization; nil seeds from ID.
+	Rng *rand.Rand
+
+	// SnapshotThreshold, when positive, auto-compacts the log once more
+	// than this many applied entries have accumulated since the last
+	// snapshot. SnapshotState, if set, captures the application state
+	// stored in the snapshot (nil data otherwise).
+	SnapshotThreshold int
+	SnapshotState     func() []byte
+}
+
+func (c *Config) validate() error {
+	if c.ID == None {
+		return fmt.Errorf("raft: node ID must be non-zero")
+	}
+	if c.ElectionTickMin <= 0 || c.ElectionTickMax <= c.ElectionTickMin {
+		return fmt.Errorf("raft: election ticks [%d,%d) invalid", c.ElectionTickMin, c.ElectionTickMax)
+	}
+	if c.HeartbeatTick <= 0 {
+		return fmt.Errorf("raft: heartbeat tick %d invalid", c.HeartbeatTick)
+	}
+	if c.HeartbeatTick >= c.ElectionTickMin {
+		return fmt.Errorf("raft: heartbeat tick %d must be < election tick min %d", c.HeartbeatTick, c.ElectionTickMin)
+	}
+	return nil
+}
+
+// Ready is the batch of outputs drained from a node after Tick/Step.
+type Ready struct {
+	// Messages must be sent to their destinations.
+	Messages []Message
+	// Committed are newly committed entries, in order, to apply to the
+	// state machine. Conf changes have already been applied to the
+	// node's own membership view.
+	Committed []Entry
+	// InstalledSnapshot, when non-nil, replaces the state machine: the
+	// application must restore itself from its Data before applying
+	// Committed (which only holds entries after the snapshot).
+	InstalledSnapshot *Snapshot
+	// State/Term/Leader snapshot the node after the batch.
+	State  State
+	Term   uint64
+	Leader uint64
+}
+
+// Node is a single Raft participant.
+type Node struct {
+	id    uint64
+	state State
+
+	term     uint64
+	votedFor uint64
+	leader   uint64
+
+	// log holds entries after the snapshot point: log[i] has raft index
+	// snapIndex+i+1.
+	log         []Entry
+	snapIndex   uint64
+	snapTerm    uint64
+	snapshot    *Snapshot // latest snapshot (nil before any compaction)
+	pendingSnap *Snapshot // installed snapshot awaiting Ready delivery
+	commitIndex uint64
+	applied     uint64
+
+	peers map[uint64]bool // current configuration (voting members)
+
+	// Candidate state.
+	votes map[uint64]bool
+
+	// Leader state.
+	nextIndex  map[uint64]uint64
+	matchIndex map[uint64]uint64
+
+	// Timers (in ticks).
+	electionElapsed  int
+	heartbeatElapsed int
+	electionTimeout  int
+
+	cfg Config
+	rng *rand.Rand
+
+	msgs []Message
+}
+
+// NewNode creates a node from cfg.
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(int64(cfg.ID)))
+	}
+	n := &Node{
+		id:         cfg.ID,
+		state:      Follower,
+		votedFor:   None,
+		leader:     None,
+		peers:      make(map[uint64]bool),
+		nextIndex:  make(map[uint64]uint64),
+		matchIndex: make(map[uint64]uint64),
+		cfg:        cfg,
+		rng:        rng,
+	}
+	for _, p := range cfg.Peers {
+		if p == None {
+			return nil, fmt.Errorf("raft: peer ID must be non-zero")
+		}
+		n.peers[p] = true
+	}
+	n.resetElectionTimeout()
+	return n, nil
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() uint64 { return n.id }
+
+// State returns the node's current role.
+func (n *Node) State() State { return n.state }
+
+// Term returns the node's current term.
+func (n *Node) Term() uint64 { return n.term }
+
+// Leader returns the node's view of the current leader (None if unknown).
+func (n *Node) Leader() uint64 { return n.leader }
+
+// CommitIndex returns the highest committed log index.
+func (n *Node) CommitIndex() uint64 { return n.commitIndex }
+
+// Members returns the current configuration, sorted.
+func (n *Node) Members() []uint64 {
+	out := make([]uint64, 0, len(n.peers))
+	for p := range n.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsMember reports whether id is in the current configuration.
+func (n *Node) IsMember(id uint64) bool { return n.peers[id] }
+
+func (n *Node) lastIndex() uint64 { return n.snapIndex + uint64(len(n.log)) }
+
+func (n *Node) termAt(i uint64) uint64 {
+	if i == n.snapIndex {
+		return n.snapTerm
+	}
+	if i <= n.snapIndex || i > n.lastIndex() {
+		return 0
+	}
+	return n.log[i-n.snapIndex-1].Term
+}
+
+func (n *Node) entryAt(i uint64) Entry { return n.log[i-n.snapIndex-1] }
+
+func (n *Node) resetElectionTimeout() {
+	span := n.cfg.ElectionTickMax - n.cfg.ElectionTickMin
+	n.electionTimeout = n.cfg.ElectionTickMin + n.rng.Intn(span)
+	n.electionElapsed = 0
+}
+
+func (n *Node) quorum() int { return len(n.peers)/2 + 1 }
+
+// Tick advances the node's logical clock by one tick (the caller defines
+// the tick duration; the experiments use 1 ms).
+func (n *Node) Tick() {
+	if n.state == Leader {
+		n.heartbeatElapsed++
+		if n.heartbeatElapsed >= n.cfg.HeartbeatTick {
+			n.heartbeatElapsed = 0
+			n.broadcastAppend()
+		}
+		return
+	}
+	n.electionElapsed++
+	if n.electionElapsed >= n.electionTimeout {
+		n.campaign()
+	}
+}
+
+// Campaign forces an immediate election (used by tests and by bootstrap
+// helpers; normal operation relies on the election timeout).
+func (n *Node) Campaign() { n.campaign() }
+
+func (n *Node) campaign() {
+	if !n.peers[n.id] {
+		// Not (yet) a voting member: keep waiting. A joining node must
+		// not disrupt the group it wants to join.
+		n.resetElectionTimeout()
+		return
+	}
+	n.state = Candidate
+	n.term++
+	n.votedFor = n.id
+	n.leader = None
+	n.votes = map[uint64]bool{n.id: true}
+	n.resetElectionTimeout()
+	if len(n.votes) >= n.quorum() {
+		// Single-node cluster.
+		n.becomeLeader()
+		return
+	}
+	for p := range n.peers {
+		if p == n.id {
+			continue
+		}
+		n.send(Message{
+			Type:         MsgVoteRequest,
+			To:           p,
+			Term:         n.term,
+			LastLogIndex: n.lastIndex(),
+			LastLogTerm:  n.termAt(n.lastIndex()),
+		})
+	}
+}
+
+func (n *Node) becomeFollower(term, leader uint64) {
+	n.state = Follower
+	if term > n.term {
+		n.term = term
+		n.votedFor = None
+	}
+	n.leader = leader
+	n.votes = nil
+	n.resetElectionTimeout()
+}
+
+func (n *Node) becomeLeader() {
+	n.state = Leader
+	n.leader = n.id
+	n.heartbeatElapsed = 0
+	n.nextIndex = make(map[uint64]uint64)
+	n.matchIndex = make(map[uint64]uint64)
+	for p := range n.peers {
+		n.nextIndex[p] = n.lastIndex() + 1
+		n.matchIndex[p] = 0
+	}
+	n.matchIndex[n.id] = n.lastIndex()
+	// Append a no-op so entries from previous terms commit (Sec. 5.4.2 of
+	// the Raft paper; Sec. III-C3 of the reproduced paper).
+	n.appendEntry(Entry{Type: EntryNoop})
+	n.broadcastAppend()
+}
+
+func (n *Node) appendEntry(e Entry) {
+	e.Index = n.lastIndex() + 1
+	e.Term = n.term
+	n.log = append(n.log, e)
+	n.matchIndex[n.id] = n.lastIndex()
+	n.maybeCommit()
+}
+
+// Propose appends a client command to the leader's log. ErrNotLeader is
+// returned on non-leaders; the caller should redirect to Leader().
+func (n *Node) Propose(data []byte) error {
+	if n.state != Leader {
+		return ErrNotLeader
+	}
+	n.appendEntry(Entry{Type: EntryNormal, Data: data})
+	n.broadcastAppend()
+	return nil
+}
+
+// ProposeConfChange appends a single-server membership change.
+func (n *Node) ProposeConfChange(cc ConfChange) error {
+	if n.state != Leader {
+		return ErrNotLeader
+	}
+	if cc.NodeID == None {
+		return fmt.Errorf("raft: conf change with zero node ID")
+	}
+	n.appendEntry(Entry{Type: EntryConfChange, Data: cc.Encode()})
+	n.broadcastAppend()
+	return nil
+}
+
+// ErrNotLeader is returned by proposals on non-leader nodes.
+var ErrNotLeader = fmt.Errorf("raft: not the leader")
+
+func (n *Node) send(m Message) {
+	m.From = n.id
+	n.msgs = append(n.msgs, m)
+}
+
+func (n *Node) broadcastAppend() {
+	for p := range n.peers {
+		if p == n.id {
+			continue
+		}
+		n.sendAppend(p)
+	}
+}
+
+func (n *Node) sendAppend(to uint64) {
+	next := n.nextIndex[to]
+	if next == 0 {
+		next = 1
+	}
+	if next <= n.snapIndex {
+		// The follower needs entries that were compacted away: ship the
+		// snapshot instead (InstallSnapshot RPC).
+		n.send(Message{Type: MsgSnapshot, To: to, Term: n.term, Snapshot: n.snapshot})
+		return
+	}
+	prev := next - 1
+	var entries []Entry
+	if next <= n.lastIndex() {
+		entries = append(entries, n.log[next-n.snapIndex-1:]...)
+	}
+	n.send(Message{
+		Type:         MsgAppend,
+		To:           to,
+		Term:         n.term,
+		PrevLogIndex: prev,
+		PrevLogTerm:  n.termAt(prev),
+		Entries:      entries,
+		Commit:       n.commitIndex,
+	})
+}
+
+// Step feeds one inbound message into the state machine.
+func (n *Node) Step(m Message) error {
+	if m.Term > n.term {
+		// Newer term always demotes. For append RPCs the sender is the
+		// leader of that term; vote requests leave the leader unknown.
+		leader := None
+		if m.Type == MsgAppend {
+			leader = m.From
+		}
+		n.becomeFollower(m.Term, leader)
+	}
+	switch m.Type {
+	case MsgVoteRequest:
+		n.handleVoteRequest(m)
+	case MsgVoteResponse:
+		n.handleVoteResponse(m)
+	case MsgAppend:
+		n.handleAppend(m)
+	case MsgAppendResponse:
+		n.handleAppendResponse(m)
+	case MsgSnapshot:
+		n.handleSnapshot(m)
+	default:
+		return fmt.Errorf("raft: unknown message type %v", m.Type)
+	}
+	return nil
+}
+
+func (n *Node) handleVoteRequest(m Message) {
+	granted := false
+	if m.Term == n.term && (n.votedFor == None || n.votedFor == m.From) && n.logUpToDate(m.LastLogIndex, m.LastLogTerm) {
+		granted = true
+		n.votedFor = m.From
+		n.resetElectionTimeout()
+	}
+	n.send(Message{Type: MsgVoteResponse, To: m.From, Term: n.term, Granted: granted})
+}
+
+// logUpToDate implements the election restriction: the candidate's log is
+// at least as up-to-date as the voter's (Sec. 5.4.1).
+func (n *Node) logUpToDate(lastIndex, lastTerm uint64) bool {
+	myTerm := n.termAt(n.lastIndex())
+	if lastTerm != myTerm {
+		return lastTerm > myTerm
+	}
+	return lastIndex >= n.lastIndex()
+}
+
+func (n *Node) handleVoteResponse(m Message) {
+	if n.state != Candidate || m.Term != n.term {
+		return
+	}
+	if m.Granted && n.peers[m.From] {
+		n.votes[m.From] = true
+		if len(n.votes) >= n.quorum() {
+			n.becomeLeader()
+		}
+	}
+}
+
+func (n *Node) handleAppend(m Message) {
+	if m.Term < n.term {
+		n.send(Message{Type: MsgAppendResponse, To: m.From, Term: n.term, Reject: true})
+		return
+	}
+	// Valid leader for our term.
+	if n.state != Follower || n.leader != m.From {
+		n.becomeFollower(m.Term, m.From)
+	} else {
+		n.resetElectionTimeout()
+	}
+	// Consistency check. A prev point inside our compacted prefix is
+	// fine by definition (committed entries never diverge) but we can
+	// only resume from the snapshot index.
+	if m.PrevLogIndex < n.snapIndex {
+		n.send(Message{Type: MsgAppendResponse, To: m.From, Term: n.term, Reject: true, Match: n.snapIndex})
+		return
+	}
+	if m.PrevLogIndex > n.lastIndex() || n.termAt(m.PrevLogIndex) != m.PrevLogTerm {
+		hint := n.lastIndex()
+		if m.PrevLogIndex < hint {
+			hint = m.PrevLogIndex
+		}
+		if hint > 0 {
+			hint--
+		}
+		if hint < n.snapIndex {
+			hint = n.snapIndex
+		}
+		n.send(Message{Type: MsgAppendResponse, To: m.From, Term: n.term, Reject: true, Match: hint})
+		return
+	}
+	// Append, truncating conflicts (same index, different term).
+	for _, e := range m.Entries {
+		switch {
+		case e.Index <= n.snapIndex:
+			// Already compacted: committed entries never conflict.
+		case e.Index <= n.lastIndex() && n.termAt(e.Index) == e.Term:
+			// Already have it.
+		case e.Index <= n.lastIndex():
+			// Conflict: truncate and append.
+			n.log = n.log[:e.Index-n.snapIndex-1]
+			n.log = append(n.log, e)
+		default:
+			n.log = append(n.log, e)
+		}
+	}
+	// Advance commit index.
+	last := m.PrevLogIndex + uint64(len(m.Entries))
+	if m.Commit > n.commitIndex {
+		c := m.Commit
+		if last < c {
+			c = last
+		}
+		if c > n.commitIndex {
+			n.commitIndex = c
+		}
+	}
+	n.send(Message{Type: MsgAppendResponse, To: m.From, Term: n.term, Match: last})
+}
+
+func (n *Node) handleAppendResponse(m Message) {
+	if n.state != Leader || m.Term != n.term {
+		return
+	}
+	if m.Reject {
+		// Back up using the follower's hint and retry.
+		next := m.Match + 1
+		if next < 1 {
+			next = 1
+		}
+		if next < n.nextIndex[m.From] {
+			n.nextIndex[m.From] = next
+		} else if n.nextIndex[m.From] > 1 {
+			n.nextIndex[m.From]--
+		}
+		n.sendAppend(m.From)
+		return
+	}
+	if m.Match > n.matchIndex[m.From] {
+		n.matchIndex[m.From] = m.Match
+	}
+	if n.nextIndex[m.From] < m.Match+1 {
+		n.nextIndex[m.From] = m.Match + 1
+	}
+	n.maybeCommit()
+	// Keep pushing if the follower is still behind.
+	if n.nextIndex[m.From] <= n.lastIndex() {
+		n.sendAppend(m.From)
+	}
+}
+
+// handleSnapshot installs a leader's snapshot (InstallSnapshot RPC).
+func (n *Node) handleSnapshot(m Message) {
+	if m.Term < n.term || m.Snapshot == nil {
+		n.send(Message{Type: MsgAppendResponse, To: m.From, Term: n.term, Reject: true})
+		return
+	}
+	if n.state != Follower || n.leader != m.From {
+		n.becomeFollower(m.Term, m.From)
+	} else {
+		n.resetElectionTimeout()
+	}
+	s := m.Snapshot
+	if s.Index <= n.commitIndex {
+		// Stale snapshot: we already have everything in it.
+		n.send(Message{Type: MsgAppendResponse, To: m.From, Term: n.term, Match: n.commitIndex})
+		return
+	}
+	snap := &Snapshot{Index: s.Index, Term: s.Term, Peers: append([]uint64(nil), s.Peers...), Data: append([]byte(nil), s.Data...)}
+	n.snapIndex, n.snapTerm = snap.Index, snap.Term
+	n.snapshot = snap
+	n.pendingSnap = snap
+	n.log = nil
+	n.commitIndex = snap.Index
+	n.applied = snap.Index
+	n.peers = make(map[uint64]bool, len(snap.Peers))
+	for _, p := range snap.Peers {
+		n.peers[p] = true
+	}
+	n.send(Message{Type: MsgAppendResponse, To: m.From, Term: n.term, Match: snap.Index})
+}
+
+// Compact discards the log up to and including index (which must be
+// applied), recording a snapshot with the given application state. The
+// paper's two-layer system commits FedAvg-layer configurations
+// periodically and forever, so unbounded logs are compacted this way.
+func (n *Node) Compact(index uint64, data []byte) error {
+	if index <= n.snapIndex {
+		return fmt.Errorf("raft: index %d already compacted (snapshot at %d)", index, n.snapIndex)
+	}
+	if index > n.applied {
+		return fmt.Errorf("raft: cannot compact unapplied index %d (applied %d)", index, n.applied)
+	}
+	term := n.termAt(index)
+	tail := make([]Entry, n.lastIndex()-index)
+	copy(tail, n.log[index-n.snapIndex-1+1:])
+	n.log = tail
+	n.snapIndex, n.snapTerm = index, term
+	n.snapshot = &Snapshot{Index: index, Term: term, Peers: n.Members(), Data: append([]byte(nil), data...)}
+	return nil
+}
+
+// SnapshotIndex returns the current compaction point (0 if none).
+func (n *Node) SnapshotIndex() uint64 { return n.snapIndex }
+
+// maybeCommit advances commitIndex to the highest index replicated on a
+// quorum whose entry is from the current term (the Sec. 5.4.2 rule).
+func (n *Node) maybeCommit() {
+	if n.state != Leader {
+		return
+	}
+	for idx := n.lastIndex(); idx > n.commitIndex; idx-- {
+		if n.termAt(idx) != n.term {
+			break
+		}
+		count := 0
+		for p := range n.peers {
+			if p == n.id {
+				if n.lastIndex() >= idx {
+					count++
+				}
+				continue
+			}
+			if n.matchIndex[p] >= idx {
+				count++
+			}
+		}
+		if count >= n.quorum() {
+			n.commitIndex = idx
+			break
+		}
+	}
+}
+
+// Ready drains the node's pending outputs: outbound messages and newly
+// committed entries (with conf changes applied to the membership view).
+func (n *Node) Ready() Ready {
+	rd := Ready{State: n.state, Term: n.term, Leader: n.leader}
+	rd.Messages = n.msgs
+	n.msgs = nil
+	if n.pendingSnap != nil {
+		rd.InstalledSnapshot = n.pendingSnap
+		n.pendingSnap = nil
+	}
+	for n.applied < n.commitIndex {
+		n.applied++
+		e := n.entryAt(n.applied)
+		if e.Type == EntryConfChange {
+			if cc, err := DecodeConfChange(e.Data); err == nil {
+				n.applyConfChange(cc)
+			}
+		}
+		rd.Committed = append(rd.Committed, e)
+	}
+	// Auto-compaction once enough applied entries accumulate.
+	if n.cfg.SnapshotThreshold > 0 && n.applied-n.snapIndex > uint64(n.cfg.SnapshotThreshold) {
+		var data []byte
+		if n.cfg.SnapshotState != nil {
+			data = n.cfg.SnapshotState()
+		}
+		// Compact cannot fail here: applied > snapIndex is guaranteed.
+		_ = n.Compact(n.applied, data)
+	}
+	return rd
+}
+
+func (n *Node) applyConfChange(cc ConfChange) {
+	if cc.Add {
+		if !n.peers[cc.NodeID] {
+			n.peers[cc.NodeID] = true
+			if n.state == Leader {
+				n.nextIndex[cc.NodeID] = n.lastIndex() + 1
+				n.matchIndex[cc.NodeID] = 0
+				n.sendAppend(cc.NodeID)
+			}
+		}
+		return
+	}
+	delete(n.peers, cc.NodeID)
+	if cc.NodeID == n.id && n.state == Leader {
+		// A leader that applies its own removal steps down; otherwise
+		// its heartbeats would suppress elections among the remaining
+		// members forever.
+		n.becomeFollower(n.term, None)
+		return
+	}
+	if n.state == Leader {
+		delete(n.nextIndex, cc.NodeID)
+		delete(n.matchIndex, cc.NodeID)
+		n.maybeCommit() // quorum may have shrunk
+	}
+}
+
+// Status is a point-in-time diagnostic snapshot of a node.
+type Status struct {
+	ID            uint64
+	State         State
+	Term          uint64
+	Leader        uint64
+	CommitIndex   uint64
+	Applied       uint64
+	LastIndex     uint64
+	SnapshotIndex uint64
+	Members       []uint64
+}
+
+// Status returns the node's current diagnostic snapshot.
+func (n *Node) Status() Status {
+	return Status{
+		ID:            n.id,
+		State:         n.state,
+		Term:          n.term,
+		Leader:        n.leader,
+		CommitIndex:   n.commitIndex,
+		Applied:       n.applied,
+		LastIndex:     n.lastIndex(),
+		SnapshotIndex: n.snapIndex,
+		Members:       n.Members(),
+	}
+}
+
+// String implements fmt.Stringer for log lines.
+func (s Status) String() string {
+	return fmt.Sprintf("node %d: %s term=%d leader=%d commit=%d applied=%d last=%d snap=%d members=%v",
+		s.ID, s.State, s.Term, s.Leader, s.CommitIndex, s.Applied, s.LastIndex, s.SnapshotIndex, s.Members)
+}
+
+// HasPending reports whether the node has undrained outputs; simulation
+// drivers use it to know when to call Ready.
+func (n *Node) HasPending() bool {
+	return len(n.msgs) > 0 || n.applied < n.commitIndex
+}
+
+// Log returns a copy of the node's log (for tests and debugging).
+func (n *Node) Log() []Entry {
+	out := make([]Entry, len(n.log))
+	copy(out, n.log)
+	return out
+}

@@ -1,0 +1,158 @@
+package raft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Networks duplicate and delay messages; Raft must be idempotent under
+// replays of old RPCs.
+func TestDuplicateAppendIsIdempotent(t *testing.T) {
+	c := newCluster(t, 1, 2, 3)
+	l := c.waitLeader(100)
+	if err := l.Propose([]byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	c.run(10)
+	var follower *Node
+	for id, n := range c.nodes {
+		if id != l.ID() {
+			follower = n
+			break
+		}
+	}
+	lenBefore := len(follower.Log())
+	commitBefore := follower.CommitIndex()
+	// Replay a full append of the existing log several times.
+	entries := l.Log()
+	for i := 0; i < 5; i++ {
+		if err := follower.Step(Message{
+			Type: MsgAppend, From: l.ID(), To: follower.ID(), Term: l.Term(),
+			PrevLogIndex: 0, PrevLogTerm: 0,
+			Entries: entries, Commit: l.CommitIndex(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		follower.Ready()
+	}
+	if len(follower.Log()) != lenBefore {
+		t.Fatalf("log grew from %d to %d under replay", lenBefore, len(follower.Log()))
+	}
+	if follower.CommitIndex() < commitBefore {
+		t.Fatal("commit regressed under replay")
+	}
+	// The entry is present exactly once.
+	count := 0
+	for _, e := range follower.Log() {
+		if string(e.Data) == "once" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("entry appears %d times", count)
+	}
+}
+
+func TestDelayedVoteResponseIgnored(t *testing.T) {
+	c := newCluster(t, 1, 2, 3)
+	l := c.waitLeader(100)
+	term := l.Term()
+	// A stale vote response from an old term must not affect the leader.
+	if err := l.Step(Message{Type: MsgVoteResponse, From: 2, To: l.ID(), Term: term - 1, Granted: true}); err != nil {
+		t.Fatal(err)
+	}
+	if l.State() != Leader || l.Term() != term {
+		t.Fatal("stale vote response disturbed the leader")
+	}
+	// A granted response arriving while already leader is harmless too.
+	if err := l.Step(Message{Type: MsgVoteResponse, From: 3, To: l.ID(), Term: term, Granted: true}); err != nil {
+		t.Fatal(err)
+	}
+	if l.State() != Leader {
+		t.Fatal("vote response while leader changed state")
+	}
+}
+
+func TestVoteFromNonMemberNotCounted(t *testing.T) {
+	n, err := NewNode(Config{
+		ID: 1, Peers: []uint64{1, 2, 3, 4, 5},
+		ElectionTickMin: 10, ElectionTickMax: 20, HeartbeatTick: 2,
+		Rng: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Campaign()
+	n.Ready()
+	// Two grants from the SAME peer plus one from a stranger: still only
+	// 2 distinct member votes (self + peer 2) of the 3 needed.
+	for i := 0; i < 2; i++ {
+		if err := n.Step(Message{Type: MsgVoteResponse, From: 2, To: 1, Term: n.Term(), Granted: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Step(Message{Type: MsgVoteResponse, From: 99, To: 1, Term: n.Term(), Granted: true}); err != nil {
+		t.Fatal(err)
+	}
+	if n.State() == Leader {
+		t.Fatal("won election without a real quorum")
+	}
+	// A third distinct member completes the quorum.
+	if err := n.Step(Message{Type: MsgVoteResponse, From: 3, To: 1, Term: n.Term(), Granted: true}); err != nil {
+		t.Fatal(err)
+	}
+	if n.State() != Leader {
+		t.Fatal("quorum of distinct members must elect")
+	}
+}
+
+func TestLeaderRemovingItselfStepsDown(t *testing.T) {
+	c := newCluster(t, 1, 2, 3, 4)
+	l := c.waitLeader(100)
+	if err := l.ProposeConfChange(ConfChange{Add: false, NodeID: l.ID()}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(20)
+	if l.State() == Leader {
+		t.Fatal("removed leader still leading — it would suppress elections forever")
+	}
+	// The remaining three members elect a replacement and make progress.
+	var nl *Node
+	for i := 0; i < 600 && nl == nil; i++ {
+		c.run(1)
+		for id, n := range c.nodes {
+			if id != l.ID() && n.State() == Leader {
+				nl = n
+			}
+		}
+	}
+	if nl == nil {
+		t.Fatal("no new leader after self-removal")
+	}
+	if nl.IsMember(l.ID()) {
+		t.Fatal("removed node still in the new leader's config")
+	}
+	if err := nl.Propose([]byte("post-self-removal")); err != nil {
+		t.Fatal(err)
+	}
+	c.run(10)
+	if nl.CommitIndex() == 0 {
+		t.Fatal("cluster cannot commit after self-removal")
+	}
+}
+
+func TestLeaderStepsDownOnHigherTermAppend(t *testing.T) {
+	c := newCluster(t, 1, 2, 3)
+	l := c.waitLeader(100)
+	if err := l.Step(Message{
+		Type: MsgAppend, From: 2, To: l.ID(), Term: l.Term() + 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if l.State() != Follower {
+		t.Fatalf("state = %v after higher-term append", l.State())
+	}
+	if l.Leader() != 2 {
+		t.Fatalf("leader = %d, want 2", l.Leader())
+	}
+}

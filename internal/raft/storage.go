@@ -1,0 +1,65 @@
+package raft
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Save serializes a persistent state with gob. Real deployments write it
+// through SaveFile, which is atomic (write-temp + rename).
+func (ps PersistentState) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(ps); err != nil {
+		return fmt.Errorf("raft: save state: %w", err)
+	}
+	return nil
+}
+
+// LoadState reads a persistent state written by Save.
+func LoadState(r io.Reader) (PersistentState, error) {
+	var ps PersistentState
+	if err := gob.NewDecoder(r).Decode(&ps); err != nil {
+		return PersistentState{}, fmt.Errorf("raft: load state: %w", err)
+	}
+	return ps, nil
+}
+
+// SaveFile atomically writes the state to path: the state is written to
+// a temporary file in the same directory, synced, and renamed over the
+// destination, so a crash mid-write never corrupts the previous state.
+func (ps PersistentState) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".raft-state-*")
+	if err != nil {
+		return fmt.Errorf("raft: save state: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := ps.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("raft: sync state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("raft: close state: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("raft: replace state: %w", err)
+	}
+	return nil
+}
+
+// LoadStateFile reads a state file written by SaveFile. A missing file
+// returns os.ErrNotExist (callers start fresh).
+func LoadStateFile(path string) (PersistentState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return PersistentState{}, err
+	}
+	defer f.Close()
+	return LoadState(f)
+}

@@ -1,0 +1,100 @@
+package raft
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func samplePersistentState(t *testing.T) PersistentState {
+	t.Helper()
+	c := newCluster(t, 1, 2, 3)
+	l := c.waitLeader(100)
+	if err := l.Propose([]byte("saved")); err != nil {
+		t.Fatal(err)
+	}
+	c.run(10)
+	if err := l.Compact(l.CommitIndex(), []byte("app")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Propose([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	c.run(10)
+	return l.Persist()
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ps := samplePersistentState(t)
+	var buf bytes.Buffer
+	if err := ps.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hard != ps.Hard {
+		t.Fatalf("hard state: %+v != %+v", got.Hard, ps.Hard)
+	}
+	if len(got.Log) != len(ps.Log) || len(got.Peers) != len(ps.Peers) {
+		t.Fatal("log/peers length mismatch")
+	}
+	if got.Snapshot == nil || got.Snapshot.Index != ps.Snapshot.Index || string(got.Snapshot.Data) != "app" {
+		t.Fatalf("snapshot mismatch: %+v", got.Snapshot)
+	}
+	// The loaded state restores into a working node.
+	if _, err := Restore(Config{ID: 1, ElectionTickMin: 10, ElectionTickMax: 20, HeartbeatTick: 2}, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveFileAtomicAndReloadable(t *testing.T) {
+	ps := samplePersistentState(t)
+	path := filepath.Join(t.TempDir(), "raft.state")
+	if err := ps.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadStateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hard != ps.Hard {
+		t.Fatal("file round trip lost the hard state")
+	}
+	// Overwriting is safe.
+	ps.Hard.Term++
+	if err := ps.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadStateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hard.Term != ps.Hard.Term {
+		t.Fatal("overwrite not visible")
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("leftover files: %v", entries)
+	}
+}
+
+func TestLoadStateFileMissing(t *testing.T) {
+	_, err := LoadStateFile(filepath.Join(t.TempDir(), "nope"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestLoadStateCorrupt(t *testing.T) {
+	if _, err := LoadState(bytes.NewBufferString("not gob")); err == nil {
+		t.Fatal("want decode error")
+	}
+}

@@ -1,0 +1,472 @@
+// Package sac implements Secure Average Computation: the baseline
+// n-out-of-n protocol (Alg. 2 of the paper) and the fault-tolerant
+// k-out-of-n protocol with replicated shares (Alg. 4).
+//
+// The engine is round-synchronous: the protocol advances through explicit
+// phases (share exchange → subtotal computation → subtotal exchange →
+// recovery → average) and peers may crash at phase boundaries, which is
+// exactly the failure model of the paper's Fig. 3 — a peer that "drops out
+// during aggregation" has sent its shares but not its subtotal.
+//
+// Traffic flows through a transport.Mesh, so every byte is accounted and
+// the measured cost can be checked against the paper's closed forms:
+//
+//	broadcast n-out-of-n (Alg. 2):   2N(N−1)·|w|
+//	leader   n-out-of-n (Sec. VII-A): (N²−1)·|w|
+//	leader   k-out-of-n (Sec. VII-B): {N(N−1)(N−K+1)+(K−1)}·|w|
+package sac
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/secretshare"
+	"repro/internal/transport"
+)
+
+// Message kinds recorded on the traffic counter.
+const (
+	KindShare       = "sac/share"
+	KindSubtotal    = "sac/subtotal"
+	KindRecoveryReq = "sac/recovery-req"
+	KindRecovery    = "sac/recovery"
+)
+
+// Mode selects how subtotals are exchanged.
+type Mode int
+
+const (
+	// ModeBroadcast is Alg. 2: every peer broadcasts its subtotal so every
+	// peer can compute the average. Only valid for K = N.
+	ModeBroadcast Mode = iota
+	// ModeLeader collects subtotals at a designated leader, the form used
+	// inside the two-layer system's subgroups (Sec. VII-A cost accounting).
+	ModeLeader
+)
+
+// Phase identifies a point in the protocol at which a peer may crash.
+type Phase int
+
+const (
+	// BeforeShares: the peer crashes before sending any share.
+	BeforeShares Phase = iota
+	// AfterShares: the peer crashes after distributing its shares but
+	// before participating in the subtotal exchange (the paper's Fig. 3).
+	AfterShares
+)
+
+// CrashPlan schedules peer crashes: peer index → phase boundary at which
+// the peer fails.
+type CrashPlan map[int]Phase
+
+// Errors returned by the engine.
+var (
+	// ErrAborted reports that an n-out-of-n aggregation hit a crash and,
+	// per Alg. 2's semantics, must be restarted with the remaining peers.
+	ErrAborted = errors.New("sac: aggregation aborted by peer failure")
+	// ErrInsufficientPeers reports that more than N−K peers failed, so the
+	// secret average is unrecoverable.
+	ErrInsufficientPeers = errors.New("sac: fewer than K peers alive")
+	// ErrLeaderCrashed reports a crash of the designated leader, which is
+	// handled by Raft re-election above this engine.
+	ErrLeaderCrashed = errors.New("sac: leader crashed")
+)
+
+// Config parameterizes one SAC aggregation.
+type Config struct {
+	N      int // number of participating peers
+	K      int // reconstruction threshold; K = N disables replication
+	Leader int // leader peer for ModeLeader
+	Mode   Mode
+	// Divider selects the share-splitting scheme; nil uses the paper's
+	// Alg. 1 (ScalarDivider).
+	Divider secretshare.Divider
+	// Rng drives share randomness; nil seeds a default source.
+	Rng *rand.Rand
+}
+
+func (c *Config) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("sac: N = %d", c.N)
+	}
+	if c.K < 1 || c.K > c.N {
+		return fmt.Errorf("sac: K = %d out of [1,%d]", c.K, c.N)
+	}
+	if c.Mode == ModeBroadcast && c.K != c.N {
+		return fmt.Errorf("sac: broadcast mode requires K = N (Alg. 2 has no recovery)")
+	}
+	if c.Mode == ModeLeader && (c.Leader < 0 || c.Leader >= c.N) {
+		return fmt.Errorf("sac: leader %d out of [0,%d)", c.Leader, c.N)
+	}
+	return nil
+}
+
+// Result reports the outcome of an aggregation.
+type Result struct {
+	// Avg is the secure average over Contributors' models.
+	Avg []float64
+	// Contributors lists the peers whose models entered the average —
+	// including peers that crashed after distributing shares (Fig. 3).
+	Contributors []int
+	// Recovered lists share indices whose subtotals were fetched from
+	// replica holders because the owner crashed.
+	Recovered []int
+}
+
+// Run executes one SAC aggregation of models (models[i] is peer i's flat
+// weight vector; all equal length) over the mesh, applying the crash plan.
+// Peers already crashed on the mesh are treated as BeforeShares failures.
+func Run(mesh transport.Network, cfg Config, models [][]float64, crash CrashPlan) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if mesh.N() != cfg.N {
+		return nil, fmt.Errorf("sac: mesh has %d peers, config %d", mesh.N(), cfg.N)
+	}
+	if len(models) != cfg.N {
+		return nil, fmt.Errorf("sac: %d models for %d peers", len(models), cfg.N)
+	}
+	dim := len(models[0])
+	for i, m := range models {
+		if len(m) != dim {
+			return nil, fmt.Errorf("sac: model %d has %d weights, want %d", i, len(m), dim)
+		}
+	}
+	div := cfg.Divider
+	if div == nil {
+		div = secretshare.ScalarDivider{}
+	}
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+
+	e := &engine{mesh: mesh, cfg: cfg, dim: dim, div: div, rng: rng, crash: crash}
+	return e.run(models)
+}
+
+type engine struct {
+	mesh  transport.Network
+	cfg   Config
+	dim   int
+	div   secretshare.Divider
+	rng   *rand.Rand
+	crash CrashPlan
+
+	contributors []int
+	// subtotals[peer][shareIdx] — computed by peers holding shareIdx.
+	subtotals []map[int][]float64
+}
+
+func (e *engine) crashAt(peer int, phase Phase) bool {
+	p, ok := e.crash[peer]
+	return ok && p == phase
+}
+
+func (e *engine) run(models [][]float64) (*Result, error) {
+	n, k := e.cfg.N, e.cfg.K
+
+	// Phase 1 — share exchange (Alg. 2 lines 2–5 / Alg. 4 lines 2–10).
+	// received[j][shareIdx][contributor] = share vector.
+	received := make([]map[int]map[int][]float64, n)
+	for j := 0; j < n; j++ {
+		received[j] = make(map[int]map[int][]float64)
+	}
+	for i := 0; i < n; i++ {
+		if !e.mesh.Alive(i) {
+			continue
+		}
+		if e.crashAt(i, BeforeShares) {
+			if err := e.mesh.Crash(i); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		shares, err := e.div.Divide(models[i], n, e.rng)
+		if err != nil {
+			return nil, err
+		}
+		e.contributors = append(e.contributors, i)
+		for j := 0; j < n; j++ {
+			idx, err := secretshare.ReplicaIndices(j, n, k)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range idx {
+				if j == i {
+					// Local retention — no traffic.
+					e.store(received, j, s, i, shares[s])
+					continue
+				}
+				msg := transport.Message{From: i, To: j, Kind: KindShare, ShareIdx: s, Payload: shares[s]}
+				if err := e.mesh.Send(msg); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if len(e.contributors) == 0 {
+		return nil, ErrInsufficientPeers
+	}
+
+	// Deliver shares: drain each alive peer's inbox.
+	for j := 0; j < n; j++ {
+		if !e.mesh.Alive(j) {
+			continue
+		}
+		msgs, err := e.mesh.Drain(j)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range msgs {
+			if m.Kind == KindShare {
+				e.store(received, j, m.ShareIdx, m.From, m.Payload)
+			}
+		}
+	}
+
+	// Alg. 2 semantics: with K = N any pre-share crash leaves the other
+	// peers missing a partition, so the aggregation aborts.
+	if k == n && len(e.contributors) < n {
+		return nil, fmt.Errorf("%w: %d of %d peers sent shares", ErrAborted, len(e.contributors), n)
+	}
+
+	// Phase 2 — subtotal computation (Alg. 2 line 6 / Alg. 4 lines 11–13).
+	// A peer that crashes AfterShares has distributed its shares (so its
+	// model still counts) but computes/sends nothing further.
+	e.subtotals = make([]map[int][]float64, n)
+	for j := 0; j < n; j++ {
+		if !e.mesh.Alive(j) {
+			continue
+		}
+		if e.crashAt(j, AfterShares) {
+			if err := e.mesh.Crash(j); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		e.subtotals[j] = make(map[int][]float64)
+		for s, byContrib := range received[j] {
+			sub := make([]float64, e.dim)
+			complete := true
+			for _, c := range e.contributors {
+				sh, ok := byContrib[c]
+				if !ok {
+					complete = false
+					break
+				}
+				for x, v := range sh {
+					sub[x] += v
+				}
+			}
+			if complete {
+				e.subtotals[j][s] = sub
+			}
+		}
+	}
+
+	// Phase 3 — subtotal exchange.
+	switch e.cfg.Mode {
+	case ModeBroadcast:
+		return e.finishBroadcast()
+	default:
+		return e.finishLeader()
+	}
+}
+
+func (e *engine) store(received []map[int]map[int][]float64, peer, shareIdx, contributor int, share []float64) {
+	byContrib, ok := received[peer][shareIdx]
+	if !ok {
+		byContrib = make(map[int][]float64)
+		received[peer][shareIdx] = byContrib
+	}
+	byContrib[contributor] = share
+}
+
+// finishBroadcast implements Alg. 2 lines 7–9: every peer broadcasts its
+// own subtotal; everyone averages. Any missing subtotal aborts.
+func (e *engine) finishBroadcast() (*Result, error) {
+	n := e.cfg.N
+	for i := 0; i < n; i++ {
+		if !e.mesh.Alive(i) {
+			continue
+		}
+		sub, ok := e.subtotals[i][i]
+		if !ok {
+			return nil, fmt.Errorf("%w: peer %d missing own subtotal", ErrAborted, i)
+		}
+		for j := 0; j < n; j++ {
+			if j == i || !e.mesh.Alive(j) {
+				continue
+			}
+			msg := transport.Message{From: i, To: j, Kind: KindSubtotal, ShareIdx: i, Payload: sub}
+			if err := e.mesh.Send(msg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Every alive peer must now hold all N subtotals.
+	alive := e.mesh.AlivePeers()
+	if len(alive) < n {
+		return nil, fmt.Errorf("%w: %d of %d peers alive at subtotal exchange", ErrAborted, len(alive), n)
+	}
+	// Average at peer 0's view (identical everywhere): drain inboxes and sum.
+	var avg []float64
+	for _, j := range alive {
+		msgs, err := e.mesh.Drain(j)
+		if err != nil {
+			return nil, err
+		}
+		got := map[int][]float64{j: e.subtotals[j][j]}
+		for _, m := range msgs {
+			if m.Kind == KindSubtotal {
+				got[m.ShareIdx] = m.Payload
+			}
+		}
+		if len(got) != n {
+			return nil, fmt.Errorf("%w: peer %d holds %d of %d subtotals", ErrAborted, j, len(got), n)
+		}
+		a := e.average(got)
+		if avg == nil {
+			avg = a
+		}
+	}
+	return &Result{Avg: avg, Contributors: e.contributors}, nil
+}
+
+// finishLeader implements Alg. 4 lines 14–20: owners send the leader the
+// subtotals it lacks; crashed owners' subtotals are recovered from
+// replica holders.
+func (e *engine) finishLeader() (*Result, error) {
+	n, k, leader := e.cfg.N, e.cfg.K, e.cfg.Leader
+	if !e.mesh.Alive(leader) || e.subtotals[leader] == nil {
+		return nil, ErrLeaderCrashed
+	}
+	have := make(map[int][]float64, n)
+	for s, sub := range e.subtotals[leader] {
+		have[s] = sub
+	}
+	// Owners i ≠ leader send ps_wt_i for the K−1 indices the leader lacks
+	// (Alg. 4 lines 14–16). In the round-synchronous engine every
+	// non-leader owner of a missing index sends it.
+	var recovered []int
+	for s := 0; s < n; s++ {
+		if _, ok := have[s]; ok {
+			continue
+		}
+		if e.mesh.Alive(s) && e.subtotals[s] != nil {
+			if sub, ok := e.subtotals[s][s]; ok {
+				msg := transport.Message{From: s, To: leader, Kind: KindSubtotal, ShareIdx: s, Payload: sub}
+				if err := e.mesh.Send(msg); err != nil {
+					return nil, err
+				}
+				have[s] = sub
+				continue
+			}
+		}
+		// Owner is down — recover from a replica holder (lines 17–18).
+		holders, err := secretshare.HoldersOf(s, n, k)
+		if err != nil {
+			return nil, err
+		}
+		found := false
+		for _, h := range holders {
+			if h == s || !e.mesh.Alive(h) || e.subtotals[h] == nil {
+				continue
+			}
+			sub, ok := e.subtotals[h][s]
+			if !ok {
+				continue
+			}
+			// Request (metadata-sized) and response (|w|).
+			req := transport.Message{From: leader, To: h, Kind: KindRecoveryReq, ShareIdx: s, Payload: []float64{float64(s)}}
+			if err := e.mesh.Send(req); err != nil {
+				return nil, err
+			}
+			resp := transport.Message{From: h, To: leader, Kind: KindRecovery, ShareIdx: s, Payload: sub}
+			if err := e.mesh.Send(resp); err != nil {
+				return nil, err
+			}
+			have[s] = sub
+			recovered = append(recovered, s)
+			found = true
+			break
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: no alive holder of subtotal %d", ErrInsufficientPeers, s)
+		}
+	}
+	// Drain the leader's inbox for completeness of the mesh bookkeeping.
+	if _, err := e.mesh.Drain(leader); err != nil {
+		return nil, err
+	}
+	return &Result{Avg: e.average(have), Contributors: e.contributors, Recovered: recovered}, nil
+}
+
+// average sums all n subtotals and divides by the number of contributing
+// models (Eq. 1–3 generalized to dropouts). Summation runs in ascending
+// share-index order so results are bit-for-bit deterministic (map order
+// would reorder floating-point additions).
+func (e *engine) average(subtotals map[int][]float64) []float64 {
+	keys := make([]int, 0, len(subtotals))
+	for k := range subtotals {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	avg := make([]float64, e.dim)
+	for _, k := range keys {
+		for x, v := range subtotals[k] {
+			avg[x] += v
+		}
+	}
+	inv := 1.0 / float64(len(e.contributors))
+	for x := range avg {
+		avg[x] *= inv
+	}
+	return avg
+}
+
+// RunWithRestart models the baseline Alg. 2 failure semantics end to end:
+// when the aggregation aborts because of a crash, it restarts from the
+// beginning with the remaining peers (the paper's Sec. II-A criticism of
+// [4] — all traffic of the failed attempt is wasted). It returns the
+// final result and the number of attempts.
+func RunWithRestart(mesh transport.Network, cfg Config, models [][]float64, crash CrashPlan) (*Result, int, error) {
+	attempts := 0
+	for {
+		attempts++
+		res, err := Run(mesh, cfg, models, crash)
+		if err == nil {
+			return res, attempts, nil
+		}
+		if !errors.Is(err, ErrAborted) {
+			return nil, attempts, err
+		}
+		// Restart with the remaining peers: re-index alive peers densely.
+		alive := mesh.AlivePeers()
+		if len(alive) < 2 {
+			return nil, attempts, ErrInsufficientPeers
+		}
+		reIndex := make(map[int]int, len(alive))
+		subModels := make([][]float64, len(alive))
+		for newID, old := range alive {
+			reIndex[old] = newID
+			subModels[newID] = models[old]
+		}
+		// Carry over crash plans that have not fired yet (a peer whose
+		// plan fired is no longer alive, so it has no new index).
+		subCrash := CrashPlan{}
+		for old, ph := range crash {
+			if newID, ok := reIndex[old]; ok {
+				subCrash[newID] = ph
+			}
+		}
+		mesh = transport.NewMesh(len(alive), mesh.Counter())
+		cfg.N, cfg.K = len(alive), len(alive)
+		cfg.Leader = 0
+		models = subModels
+		crash = subCrash
+	}
+}

@@ -1,0 +1,336 @@
+// Package simnet is a discrete-event network simulator with a virtual
+// clock. It replaces the paper's single-machine testbed (virtual peers
+// over TCP with tc-injected 15 ms latency): raft nodes are ticked every
+// virtual millisecond and messages are delivered after a configurable
+// one-way latency, so 1000 recovery-time trials run in seconds of wall
+// clock while reporting virtual milliseconds directly comparable to the
+// paper's Figs. 10–12.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/raft"
+)
+
+// Time is virtual time in microseconds since simulation start.
+type Time int64
+
+// Duration is a virtual duration in microseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000
+	Second      Duration = 1000 * Millisecond
+)
+
+// Ms renders a Time as fractional milliseconds.
+func (t Time) Ms() float64 { return float64(t) / 1000 }
+
+// Ms renders a Duration as fractional milliseconds.
+func (d Duration) Ms() float64 { return float64(d) / 1000 }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break so same-time events run in schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the discrete-event scheduler. It is not safe for concurrent use:
+// all event handlers run on the caller's goroutine, which is what makes
+// runs deterministic.
+type Sim struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// New creates an empty simulation at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Schedule runs fn after the given delay (clamped to ≥ 0).
+func (s *Sim) Schedule(after Duration, fn func()) {
+	if after < 0 {
+		after = 0
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: s.now + Time(after), seq: s.seq, fn: fn})
+}
+
+// Step executes the next event; false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// RunUntil processes events until the virtual clock reaches t (events at
+// exactly t still run) or the queue empties.
+func (s *Sim) RunUntil(t Time) {
+	for len(s.events) > 0 && s.events[0].at <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the clock by d.
+func (s *Sim) RunFor(d Duration) { s.RunUntil(s.now + Time(d)) }
+
+// RunWhileNot steps events until cond() is true or the clock passes
+// limit; it reports whether cond was met.
+func (s *Sim) RunWhileNot(cond func() bool, limit Time) bool {
+	for !cond() {
+		if len(s.events) == 0 || s.events[0].at > limit {
+			return false
+		}
+		s.Step()
+	}
+	return true
+}
+
+// Group drives a set of raft nodes that share one consensus group over
+// the simulated network: each host is ticked every TickInterval and its
+// outbound messages are delivered to group members after Latency.
+type Group struct {
+	sim  *Sim
+	name string
+
+	// Latency is the one-way message delay; the paper uses 15 ms.
+	Latency Duration
+	// Jitter adds U(0, Jitter) to each delivery.
+	Jitter Duration
+	// LossRate drops each message independently with this probability —
+	// Raft tolerates loss via retransmission-by-timeout, which the
+	// failure-injection tests exercise.
+	LossRate float64
+	// LinkFilter, if set, drops any message for which it returns false —
+	// the hook for partitions and asymmetric link failures.
+	LinkFilter func(from, to uint64) bool
+	// TickInterval is the raft tick period (default 1 ms, so raft tick
+	// counts are milliseconds).
+	TickInterval Duration
+
+	rng   *rand.Rand
+	hosts map[uint64]*Host
+}
+
+// NewGroup creates a consensus group on sim with the given one-way
+// latency and rng for jitter.
+func NewGroup(sim *Sim, name string, latency Duration, rng *rand.Rand) *Group {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Group{
+		sim:          sim,
+		name:         name,
+		Latency:      latency,
+		TickInterval: Millisecond,
+		rng:          rng,
+		hosts:        make(map[uint64]*Host),
+	}
+}
+
+// Name returns the group's label.
+func (g *Group) Name() string { return g.name }
+
+// Host wraps one raft node living in a Group.
+type Host struct {
+	Node  *raft.Node
+	group *Group
+	down  bool
+
+	// OnCommit, if set, observes each committed entry.
+	OnCommit func(e raft.Entry)
+	// OnSnapshot, if set, observes installed snapshots; the state
+	// machine must restore itself from the snapshot data before the
+	// following commits.
+	OnSnapshot func(s *raft.Snapshot)
+	// OnStateChange, if set, observes role transitions.
+	OnStateChange func(state raft.State, term, leader uint64)
+
+	lastState  raft.State
+	lastTerm   uint64
+	lastLeader uint64
+
+	persisted raft.PersistentState
+	hasState  bool
+}
+
+// Add registers node in the group and starts ticking it.
+func (g *Group) Add(node *raft.Node) (*Host, error) {
+	id := node.ID()
+	if _, ok := g.hosts[id]; ok {
+		return nil, fmt.Errorf("simnet: duplicate host %d in group %s", id, g.name)
+	}
+	h := &Host{Node: node, group: g, lastLeader: raft.None}
+	g.hosts[id] = h
+	g.scheduleTick(h)
+	return h, nil
+}
+
+// Host returns the host for id, or nil.
+func (g *Group) Host(id uint64) *Host { return g.hosts[id] }
+
+// Hosts returns all hosts (including crashed ones).
+func (g *Group) Hosts() map[uint64]*Host { return g.hosts }
+
+// Leader returns the ID of a live host currently in the Leader state with
+// the highest term, or raft.None.
+func (g *Group) Leader() uint64 {
+	best := raft.None
+	var bestTerm uint64
+	for id, h := range g.hosts {
+		if h.down || h.Node.State() != raft.Leader {
+			continue
+		}
+		if best == raft.None || h.Node.Term() > bestTerm {
+			best, bestTerm = id, h.Node.Term()
+		}
+	}
+	return best
+}
+
+func (g *Group) scheduleTick(h *Host) {
+	g.sim.Schedule(g.TickInterval, func() {
+		if h.down {
+			return
+		}
+		h.Node.Tick()
+		h.Pump()
+		g.scheduleTick(h)
+	})
+}
+
+// Crash stops the host: no more ticks, inbound messages dropped. State
+// persisted before the crash survives (see Restart).
+func (h *Host) Crash() { h.down = true }
+
+// Down reports whether the host has crashed.
+func (h *Host) Down() bool { return h.down }
+
+// Restart revives a crashed host from its last persisted state: the node
+// rejoins as a follower with its durable term/vote/log intact, exactly
+// the "crashed server rejoins the cluster at any time" behaviour of
+// Raft. cfg supplies the timing parameters (ID must match).
+func (h *Host) Restart(cfg raft.Config) error {
+	if !h.down {
+		return fmt.Errorf("simnet: host %d is not down", h.Node.ID())
+	}
+	if cfg.ID != h.Node.ID() {
+		return fmt.Errorf("simnet: restart with ID %d on host %d", cfg.ID, h.Node.ID())
+	}
+	if !h.hasState {
+		return fmt.Errorf("simnet: host %d has no persisted state", h.Node.ID())
+	}
+	node, err := raft.Restore(cfg, h.persisted)
+	if err != nil {
+		return err
+	}
+	h.Node = node
+	h.down = false
+	h.lastState, h.lastTerm, h.lastLeader = raft.Follower, node.Term(), raft.None
+	h.group.scheduleTick(h)
+	return nil
+}
+
+// Pump drains the node's Ready set: messages are scheduled for delivery
+// with the group latency, commits and state changes fire callbacks.
+func (h *Host) Pump() {
+	if !h.Node.HasPending() && !h.stateChanged() {
+		return
+	}
+	rd := h.Node.Ready()
+	// Persist before the messages "hit the wire", as Raft requires.
+	h.persisted = h.Node.Persist()
+	h.hasState = true
+	for _, m := range rd.Messages {
+		h.group.deliver(m)
+	}
+	if rd.InstalledSnapshot != nil && h.OnSnapshot != nil {
+		h.OnSnapshot(rd.InstalledSnapshot)
+	}
+	if h.OnCommit != nil {
+		for _, e := range rd.Committed {
+			h.OnCommit(e)
+		}
+	}
+	h.noteState(rd.State, rd.Term, rd.Leader)
+}
+
+func (h *Host) stateChanged() bool {
+	return h.Node.State() != h.lastState || h.Node.Term() != h.lastTerm || h.Node.Leader() != h.lastLeader
+}
+
+func (h *Host) noteState(st raft.State, term, leader uint64) {
+	if st == h.lastState && term == h.lastTerm && leader == h.lastLeader {
+		return
+	}
+	h.lastState, h.lastTerm, h.lastLeader = st, term, leader
+	if h.OnStateChange != nil {
+		h.OnStateChange(st, term, leader)
+	}
+}
+
+// Partition splits the group: messages only flow between hosts on the
+// same side. Call Heal to reconnect.
+func (g *Group) Partition(side map[uint64]bool) {
+	g.LinkFilter = func(from, to uint64) bool { return side[from] == side[to] }
+}
+
+// Heal removes any partition or custom link filter.
+func (g *Group) Heal() { g.LinkFilter = nil }
+
+func (g *Group) deliver(m raft.Message) {
+	if g.LinkFilter != nil && !g.LinkFilter(m.From, m.To) {
+		return
+	}
+	if g.LossRate > 0 && g.rng.Float64() < g.LossRate {
+		return
+	}
+	delay := g.Latency
+	if g.Jitter > 0 {
+		delay += Duration(g.rng.Int63n(int64(g.Jitter)))
+	}
+	g.sim.Schedule(delay, func() {
+		dst, ok := g.hosts[m.To]
+		if !ok || dst.down {
+			return
+		}
+		if err := dst.Node.Step(m); err != nil {
+			return
+		}
+		dst.Pump()
+	})
+}

@@ -1,0 +1,80 @@
+package tensor
+
+import "fmt"
+
+// Im2Col lowers a batch of images to a matrix so that a convolution becomes
+// a single matrix multiplication.
+//
+// Input x has shape [batch, channels, height, width]. The result has shape
+// [batch·outH·outW, channels·kh·kw] where outH = (height+2·pad−kh)/stride+1
+// and similarly for outW. Padding is zero-padding.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) (*Tensor, int, int, error) {
+	if x.Rank() != 4 {
+		return nil, 0, 0, fmt.Errorf("%w: im2col requires rank 4, got %v", ErrShape, x.shape)
+	}
+	b, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, 0, 0, fmt.Errorf("%w: im2col kernel %dx%d too large for %dx%d input with pad %d", ErrShape, kh, kw, h, w, pad)
+	}
+	cols := New(b*outH*outW, c*kh*kw)
+	colStride := c * kh * kw
+	for bi := 0; bi < b; bi++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				row := ((bi*outH+oy)*outW + ox) * colStride
+				for ci := 0; ci < c; ci++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							dst := row + (ci*kh+ky)*kw + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								cols.data[dst] = x.data[((bi*c+ci)*h+iy)*w+ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols, outH, outW, nil
+}
+
+// Col2Im accumulates a column matrix (as produced by Im2Col for an input of
+// shape [batch, channels, height, width]) back into image space. Overlapping
+// patches sum, which is exactly the gradient of Im2Col.
+func Col2Im(cols *Tensor, batch, channels, height, width, kh, kw, stride, pad int) (*Tensor, error) {
+	outH := (height+2*pad-kh)/stride + 1
+	outW := (width+2*pad-kw)/stride + 1
+	colStride := channels * kh * kw
+	want := batch * outH * outW
+	if cols.Rank() != 2 || cols.shape[0] != want || cols.shape[1] != colStride {
+		return nil, fmt.Errorf("%w: col2im got %v, want [%d %d]", ErrShape, cols.shape, want, colStride)
+	}
+	x := New(batch, channels, height, width)
+	for bi := 0; bi < batch; bi++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				row := ((bi*outH+oy)*outW + ox) * colStride
+				for ci := 0; ci < channels; ci++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= height {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= width {
+								continue
+							}
+							x.data[((bi*channels+ci)*height+iy)*width+ix] += cols.data[row+(ci*kh+ky)*kw+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return x, nil
+}

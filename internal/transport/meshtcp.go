@@ -1,0 +1,264 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Compile-time checks: both fabrics implement Network.
+var (
+	_ Network = (*Mesh)(nil)
+	_ Network = (*TCPMesh)(nil)
+)
+
+// TCPMesh is a Network whose messages travel over real TCP sockets (one
+// loopback listener per peer). Send is synchronous: it blocks until the
+// receiver has decoded the message into its inbox and acknowledged it,
+// preserving the round-synchronous semantics the SAC engines rely on.
+//
+// The protocol logic is identical to the in-memory Mesh; this fabric
+// exists to demonstrate the aggregation running over an actual network
+// stack (the paper's system used gRPC between layers).
+type TCPMesh struct {
+	mu        sync.Mutex
+	n         int
+	counter   *Counter
+	crashed   []bool
+	inboxes   [][]Message
+	listeners []net.Listener
+	addrs     []string
+
+	conns map[int]*tcpConn // keyed by destination peer
+
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type tcpConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	br  *bufio.Reader
+}
+
+// NewTCPMesh creates a mesh of n peers listening on loopback with
+// dynamic ports. Call Close when done.
+func NewTCPMesh(n int, counter *Counter) (*TCPMesh, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("transport: tcp mesh needs ≥ 1 peer")
+	}
+	if counter == nil {
+		counter = NewCounter()
+	}
+	m := &TCPMesh{
+		n:         n,
+		counter:   counter,
+		crashed:   make([]bool, n),
+		inboxes:   make([][]Message, n),
+		listeners: make([]net.Listener, n),
+		addrs:     make([]string, n),
+		conns:     make(map[int]*tcpConn),
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("transport: tcp mesh listen: %w", err)
+		}
+		m.listeners[i] = ln
+		m.addrs[i] = ln.Addr().String()
+		m.wg.Add(1)
+		go m.acceptLoop(i, ln)
+	}
+	return m, nil
+}
+
+func (m *TCPMesh) acceptLoop(peer int, ln net.Listener) {
+	defer m.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		m.wg.Add(1)
+		go m.serveConn(peer, conn)
+	}
+}
+
+func (m *TCPMesh) serveConn(peer int, conn net.Conn) {
+	defer m.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		m.mu.Lock()
+		if !m.crashed[peer] {
+			m.inboxes[peer] = append(m.inboxes[peer], msg)
+		}
+		m.mu.Unlock()
+		if err := bw.WriteByte(1); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// N implements Network.
+func (m *TCPMesh) N() int { return m.n }
+
+// Counter implements Network.
+func (m *TCPMesh) Counter() *Counter { return m.counter }
+
+// Alive implements Network.
+func (m *TCPMesh) Alive(peer int) bool {
+	if peer < 0 || peer >= m.n {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.crashed[peer]
+}
+
+// AlivePeers implements Network.
+func (m *TCPMesh) AlivePeers() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int
+	for i, c := range m.crashed {
+		if !c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Crash implements Network: the peer's listener closes and its inbox is
+// dropped.
+func (m *TCPMesh) Crash(peer int) error {
+	if peer < 0 || peer >= m.n {
+		return fmt.Errorf("transport: peer %d out of [0,%d)", peer, m.n)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed[peer] = true
+	m.inboxes[peer] = nil
+	m.listeners[peer].Close()
+	return nil
+}
+
+// Send implements Network with per-message acknowledgement.
+func (m *TCPMesh) Send(msg Message) error {
+	if msg.From < 0 || msg.From >= m.n || msg.To < 0 || msg.To >= m.n {
+		return fmt.Errorf("transport: bad endpoints %d→%d", msg.From, msg.To)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("transport: tcp mesh closed")
+	}
+	if m.crashed[msg.From] {
+		m.mu.Unlock()
+		return fmt.Errorf("transport: %w: peer %d", ErrCrashed, msg.From)
+	}
+	m.counter.Record(msg.Kind, msg.WireBytes())
+	toCrashed := m.crashed[msg.To]
+	m.mu.Unlock()
+	if toCrashed {
+		// Bytes hit the wire toward a dead peer; nothing arrives.
+		return nil
+	}
+	conn, err := m.dial(msg.To)
+	if err != nil {
+		// The receiver may have crashed between the check and the dial.
+		if !m.Alive(msg.To) {
+			return nil
+		}
+		return err
+	}
+	if err := conn.enc.Encode(msg); err != nil {
+		m.dropConn(msg.To)
+		if !m.Alive(msg.To) {
+			return nil
+		}
+		return fmt.Errorf("transport: tcp send: %w", err)
+	}
+	if _, err := conn.br.ReadByte(); err != nil {
+		m.dropConn(msg.To)
+		if !m.Alive(msg.To) {
+			return nil
+		}
+		return fmt.Errorf("transport: tcp ack: %w", err)
+	}
+	return nil
+}
+
+// dial returns a cached connection to the destination peer.
+func (m *TCPMesh) dial(to int) (*tcpConn, error) {
+	m.mu.Lock()
+	if c, ok := m.conns[to]; ok {
+		m.mu.Unlock()
+		return c, nil
+	}
+	addr := m.addrs[to]
+	m.mu.Unlock()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: tcp dial %s: %w", addr, err)
+	}
+	c := &tcpConn{c: raw, enc: gob.NewEncoder(raw), br: bufio.NewReader(raw)}
+	m.mu.Lock()
+	m.conns[to] = c
+	m.mu.Unlock()
+	return c, nil
+}
+
+func (m *TCPMesh) dropConn(to int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.conns[to]; ok {
+		c.c.Close()
+		delete(m.conns, to)
+	}
+}
+
+// Drain implements Network.
+func (m *TCPMesh) Drain(peer int) ([]Message, error) {
+	if peer < 0 || peer >= m.n {
+		return nil, fmt.Errorf("transport: peer %d out of [0,%d)", peer, m.n)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.inboxes[peer]
+	m.inboxes[peer] = nil
+	return out, nil
+}
+
+// Close shuts all listeners and connections down.
+func (m *TCPMesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	for _, ln := range m.listeners {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for to, c := range m.conns {
+		c.c.Close()
+		delete(m.conns, to)
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+	return nil
+}

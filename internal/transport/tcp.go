@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/raft"
+)
+
+// RaftTCP moves raft.Messages between real processes over TCP with gob
+// encoding — the real-time counterpart of the discrete-event simulator,
+// used by cmd/p2pfl-node. One outbound connection per peer is dialed
+// lazily and re-dialed on failure; inbound messages are fanned into a
+// single receive channel.
+type RaftTCP struct {
+	id    uint64
+	addrs map[uint64]string
+
+	mu      sync.Mutex
+	conns   map[uint64]*gob.Encoder
+	raw     map[uint64]net.Conn
+	inbound map[net.Conn]struct{}
+
+	ln        net.Listener
+	recvCh    chan raft.Message
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	counter *Counter
+}
+
+// NewRaftTCP starts a transport listening on addrs[id]. addrs maps every
+// node ID (including this one) to host:port.
+func NewRaftTCP(id uint64, addrs map[uint64]string, counter *Counter) (*RaftTCP, error) {
+	self, ok := addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for node %d", id)
+	}
+	ln, err := net.Listen("tcp", self)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", self, err)
+	}
+	if counter == nil {
+		counter = NewCounter()
+	}
+	t := &RaftTCP{
+		id:      id,
+		addrs:   make(map[uint64]string, len(addrs)),
+		conns:   make(map[uint64]*gob.Encoder),
+		raw:     make(map[uint64]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+		ln:      ln,
+		recvCh:  make(chan raft.Message, 1024),
+		done:    make(chan struct{}),
+		counter: counter,
+	}
+	for k, v := range addrs {
+		t.addrs[k] = v
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address (useful when the
+// configured address had port 0).
+func (t *RaftTCP) Addr() string { return t.ln.Addr().String() }
+
+// Recv returns the channel of inbound messages.
+func (t *RaftTCP) Recv() <-chan raft.Message { return t.recvCh }
+
+// Counter returns the transport's traffic counter.
+func (t *RaftTCP) Counter() *Counter { return t.counter }
+
+func (t *RaftTCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				continue
+			}
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *RaftTCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	t.mu.Lock()
+	t.inbound[conn] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var m raft.Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		select {
+		case t.recvCh <- m:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Send encodes m to its destination, dialing on demand. Failures close
+// the cached connection so the next Send re-dials; the message is
+// dropped (Raft tolerates message loss).
+func (t *RaftTCP) Send(m raft.Message) error {
+	addr, ok := t.addrs[m.To]
+	if !ok {
+		return fmt.Errorf("transport: no address for node %d", m.To)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	enc, ok := t.conns[m.To]
+	if !ok {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return fmt.Errorf("transport: dial %s: %w", addr, err)
+		}
+		enc = gob.NewEncoder(conn)
+		t.conns[m.To] = enc
+		t.raw[m.To] = conn
+	}
+	if err := enc.Encode(m); err != nil {
+		if c := t.raw[m.To]; c != nil {
+			c.Close()
+		}
+		delete(t.conns, m.To)
+		delete(t.raw, m.To)
+		return fmt.Errorf("transport: send to %d: %w", m.To, err)
+	}
+	t.counter.Record("raft/"+m.Type.String(), int64(8*len(m.Entries)*16+64))
+	return nil
+}
+
+// RegisterAddr adds or updates a peer address (e.g. a node added via a
+// membership change).
+func (t *RaftTCP) RegisterAddr(id uint64, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[id] = addr
+}
+
+// Close shuts the listener and all connections down. It is idempotent.
+func (t *RaftTCP) Close() error {
+	var err error
+	t.closeOnce.Do(func() {
+		close(t.done)
+		err = t.ln.Close()
+		t.mu.Lock()
+		for id, c := range t.raw {
+			c.Close()
+			delete(t.raw, id)
+			delete(t.conns, id)
+		}
+		// Unblock readLoops parked in Decode on accepted connections.
+		for c := range t.inbound {
+			c.Close()
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+	})
+	return err
+}

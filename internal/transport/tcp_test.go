@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/raft"
+)
+
+// newPair starts two transports on loopback with dynamic ports.
+func newPair(t *testing.T) (*RaftTCP, *RaftTCP) {
+	t.Helper()
+	// Bootstrap with port 0, then exchange real addresses.
+	t1, err := NewRaftTCP(1, map[uint64]string{1: "127.0.0.1:0", 2: "127.0.0.1:1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := NewRaftTCP(2, map[uint64]string{1: t1.Addr(), 2: "127.0.0.1:0"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1.RegisterAddr(2, t2.Addr())
+	t.Cleanup(func() {
+		t1.Close()
+		t2.Close()
+	})
+	return t1, t2
+}
+
+func recvWithTimeout(t *testing.T, ch <-chan raft.Message) raft.Message {
+	t.Helper()
+	select {
+	case m := <-ch:
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for message")
+		return raft.Message{}
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	t1, t2 := newPair(t)
+	msg := raft.Message{
+		Type: raft.MsgAppend, From: 1, To: 2, Term: 7,
+		Entries: []raft.Entry{{Index: 1, Term: 7, Data: []byte("hello")}},
+		Commit:  1,
+	}
+	if err := t1.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := recvWithTimeout(t, t2.Recv())
+	if got.Term != 7 || got.From != 1 || len(got.Entries) != 1 || string(got.Entries[0].Data) != "hello" {
+		t.Fatalf("got %+v", got)
+	}
+	// And the reverse direction.
+	if err := t2.Send(raft.Message{Type: raft.MsgAppendResponse, From: 2, To: 1, Term: 7, Match: 1}); err != nil {
+		t.Fatal(err)
+	}
+	back := recvWithTimeout(t, t1.Recv())
+	if back.Match != 1 || back.From != 2 {
+		t.Fatalf("got %+v", back)
+	}
+}
+
+func TestTCPManyMessages(t *testing.T) {
+	t1, t2 := newPair(t)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := t1.Send(raft.Message{Type: raft.MsgVoteRequest, From: 1, To: 2, Term: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m := recvWithTimeout(t, t2.Recv())
+		if m.Term != uint64(i) {
+			t.Fatalf("message %d: term %d (reordered?)", i, m.Term)
+		}
+	}
+	if t1.Counter().TotalMessages() != n {
+		t.Fatalf("counted %d messages", t1.Counter().TotalMessages())
+	}
+}
+
+func TestTCPSendToUnknownPeer(t *testing.T) {
+	t1, _ := newPair(t)
+	if err := t1.Send(raft.Message{To: 99}); err == nil {
+		t.Fatal("want error for unknown peer")
+	}
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	tr, err := NewRaftTCP(1, map[uint64]string{1: "127.0.0.1:0", 2: "127.0.0.1:1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	// Port 1 is almost certainly closed; the send must fail cleanly.
+	if err := tr.Send(raft.Message{To: 2}); err == nil {
+		t.Fatal("want dial error")
+	}
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	t1, t2 := newPair(t)
+	if err := t1.Send(raft.Message{Type: raft.MsgVoteRequest, From: 1, To: 2, Term: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recvWithTimeout(t, t2.Recv())
+	// Restart peer 2 on a new port.
+	addr2old := t2.Addr()
+	t2.Close()
+	t2b, err := NewRaftTCP(2, map[uint64]string{1: t1.Addr(), 2: "127.0.0.1:0"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2b.Close()
+	t1.RegisterAddr(2, t2b.Addr())
+	if t2b.Addr() == addr2old {
+		t.Log("reused port (fine)")
+	}
+	// First send may fail on the stale connection; retry loop mimics the
+	// raft driver's behaviour.
+	delivered := false
+	for i := 0; i < 20 && !delivered; i++ {
+		if err := t1.Send(raft.Message{Type: raft.MsgVoteRequest, From: 1, To: 2, Term: 2}); err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		select {
+		case m := <-t2b.Recv():
+			if m.Term == 2 {
+				delivered = true
+			}
+		case <-time.After(time.Second):
+		}
+	}
+	if !delivered {
+		t.Fatal("message not delivered after reconnect")
+	}
+}
+
+// Full integration: three real raft nodes over loopback TCP elect a
+// leader and replicate an entry, driven by real-time tickers.
+func TestTCPRaftCluster(t *testing.T) {
+	ids := []uint64{1, 2, 3}
+	addrs := map[uint64]string{}
+	transports := map[uint64]*RaftTCP{}
+	// Listen first with dynamic ports.
+	for _, id := range ids {
+		boot := map[uint64]string{}
+		for _, j := range ids {
+			boot[j] = "127.0.0.1:1" // placeholder
+		}
+		boot[id] = "127.0.0.1:0"
+		tr, err := NewRaftTCP(id, boot, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		transports[id] = tr
+		addrs[id] = tr.Addr()
+	}
+	for _, tr := range transports {
+		for id, a := range addrs {
+			tr.RegisterAddr(id, a)
+		}
+	}
+
+	// Each node is owned by exactly one driver goroutine (raft.Node is
+	// not thread-safe); the main goroutine communicates via channels and
+	// per-node leadership flags.
+	stop := make(chan struct{})
+	committed := make(chan string, 16)
+	isLeader := map[uint64]*atomic.Bool{}
+	proposeCh := map[uint64]chan []byte{}
+	for _, id := range ids {
+		isLeader[id] = &atomic.Bool{}
+		proposeCh[id] = make(chan []byte, 4)
+	}
+	for _, id := range ids {
+		id := id
+		n, err := raft.NewNode(raft.Config{
+			ID: id, Peers: ids,
+			ElectionTickMin: 20, ElectionTickMax: 40, HeartbeatTick: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			tick := time.NewTicker(5 * time.Millisecond) // 1 tick = 5ms
+			defer tick.Stop()
+			tr := transports[id]
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					n.Tick()
+				case m := <-tr.Recv():
+					_ = n.Step(m)
+				case data := <-proposeCh[id]:
+					_ = n.Propose(data)
+				}
+				rd := n.Ready()
+				isLeader[id].Store(rd.State == raft.Leader)
+				for _, m := range rd.Messages {
+					_ = tr.Send(m) // drops on failure; raft retries
+				}
+				for _, e := range rd.Committed {
+					if e.Type == raft.EntryNormal && len(e.Data) > 0 {
+						select {
+						case committed <- fmt.Sprintf("%d:%s", id, e.Data):
+						default:
+						}
+					}
+				}
+			}
+		}()
+	}
+	defer close(stop)
+
+	// Wait for a leader, then propose through its driver.
+	deadline := time.After(15 * time.Second)
+	var leaderID uint64
+	for leaderID == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no leader elected over TCP")
+		case <-time.After(20 * time.Millisecond):
+			for _, id := range ids {
+				if isLeader[id].Load() {
+					leaderID = id
+				}
+			}
+		}
+	}
+	proposeCh[leaderID] <- []byte("tcp-entry")
+	seen := map[string]bool{}
+	for len(seen) < 3 {
+		select {
+		case s := <-committed:
+			seen[s] = true
+		case <-time.After(15 * time.Second):
+			t.Fatalf("only %d/3 nodes committed: %v", len(seen), seen)
+		}
+	}
+}

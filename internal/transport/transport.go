@@ -1,0 +1,259 @@
+// Package transport provides the message-passing substrate shared by the
+// aggregation protocols: an in-memory mesh with exact byte accounting
+// (used by the SAC engines and the two-layer system, and to cross-check
+// the paper's closed-form communication-cost formulas) and a gob-over-TCP
+// transport for running real peers (cmd/p2pfl-node).
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Message is one protocol message between peers. Payload is a flat vector
+// of model weights (or shares/subtotals thereof); its wire size is
+// 8·len(Payload) bytes, matching the paper's cost unit |w| = bytes of the
+// weight tensor.
+type Message struct {
+	From, To int
+	Kind     string
+	ShareIdx int
+	Payload  []float64
+}
+
+// WireBytes returns the accounted size of the message payload.
+func (m Message) WireBytes() int64 { return int64(8 * len(m.Payload)) }
+
+// Counter accumulates traffic statistics, categorized by message kind.
+// It is safe for concurrent use.
+type Counter struct {
+	mu    sync.Mutex
+	bytes map[string]int64
+	msgs  map[string]int64
+}
+
+// NewCounter creates an empty traffic counter.
+func NewCounter() *Counter {
+	return &Counter{bytes: make(map[string]int64), msgs: make(map[string]int64)}
+}
+
+// Record adds one message of the given kind and size.
+func (c *Counter) Record(kind string, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bytes[kind] += bytes
+	c.msgs[kind]++
+}
+
+// Bytes returns the byte total for one kind.
+func (c *Counter) Bytes(kind string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes[kind]
+}
+
+// Messages returns the message count for one kind.
+func (c *Counter) Messages(kind string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.msgs[kind]
+}
+
+// TotalBytes returns the byte total across all kinds.
+func (c *Counter) TotalBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, b := range c.bytes {
+		t += b
+	}
+	return t
+}
+
+// TotalMessages returns the message total across all kinds.
+func (c *Counter) TotalMessages() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, n := range c.msgs {
+		t += n
+	}
+	return t
+}
+
+// Kinds returns the recorded kinds in sorted order.
+func (c *Counter) Kinds() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.bytes))
+	for k := range c.bytes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears all counts.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bytes = make(map[string]int64)
+	c.msgs = make(map[string]int64)
+}
+
+// Network is the fully connected peer fabric the round-synchronous SAC
+// engines run on: a protocol phase Sends messages, then each peer Drains
+// its inbox. Send must be synchronous — a message is in the receiver's
+// inbox (or dropped at a crashed receiver) when Send returns. Mesh is
+// the in-memory implementation; TCPMesh moves the same messages over
+// real sockets.
+type Network interface {
+	// N returns the number of peers.
+	N() int
+	// Alive reports whether the peer has not crashed.
+	Alive(peer int) bool
+	// AlivePeers lists non-crashed peers in order.
+	AlivePeers() []int
+	// Crash marks a peer failed: it can no longer send, and messages to
+	// it are dropped (after byte accounting — the sender cannot know).
+	Crash(peer int) error
+	// Send delivers a message to the destination peer's inbox.
+	Send(Message) error
+	// Drain removes and returns all messages queued for peer.
+	Drain(peer int) ([]Message, error)
+	// Counter exposes the traffic counter.
+	Counter() *Counter
+}
+
+// Mesh is an in-memory, fully connected network of n peers with per-peer
+// inboxes, crash simulation and byte accounting. It is the substrate for
+// the round-synchronous SAC engines: a protocol phase Sends messages,
+// then each peer Drains its inbox.
+type Mesh struct {
+	mu       sync.Mutex
+	n        int
+	inboxes  [][]Message
+	crashed  []bool
+	counter  *Counter
+	observer func(Message)
+}
+
+// NewMesh creates a mesh of n peers recording traffic into counter
+// (which may be shared across meshes; nil allocates a private one).
+func NewMesh(n int, counter *Counter) *Mesh {
+	if counter == nil {
+		counter = NewCounter()
+	}
+	return &Mesh{
+		n:       n,
+		inboxes: make([][]Message, n),
+		crashed: make([]bool, n),
+		counter: counter,
+	}
+}
+
+// N returns the number of peers.
+func (m *Mesh) N() int { return m.n }
+
+// Counter returns the mesh's traffic counter.
+func (m *Mesh) Counter() *Counter { return m.counter }
+
+// Observe installs a callback invoked (under the mesh lock) for every
+// message accepted by Send, including messages to crashed receivers.
+// Protocol audits — e.g. verifying what an honest-but-curious leader
+// gets to see — use this to capture traffic without altering it.
+func (m *Mesh) Observe(fn func(Message)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observer = fn
+}
+
+// Crash marks a peer as crashed: it can no longer send, and messages to
+// it are dropped (but still counted as sent — the sender cannot know the
+// receiver is down, so the bytes hit the wire).
+func (m *Mesh) Crash(peer int) error {
+	if err := m.check(peer); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed[peer] = true
+	m.inboxes[peer] = nil
+	return nil
+}
+
+// Alive reports whether a peer has not crashed.
+func (m *Mesh) Alive(peer int) bool {
+	if peer < 0 || peer >= m.n {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.crashed[peer]
+}
+
+// AlivePeers returns the IDs of all non-crashed peers in order.
+func (m *Mesh) AlivePeers() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int
+	for i, c := range m.crashed {
+		if !c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Send delivers msg to its destination's inbox. A crashed sender returns
+// ErrCrashed; a crashed receiver silently drops the message after the
+// bytes are counted.
+func (m *Mesh) Send(msg Message) error {
+	if err := m.check(msg.From); err != nil {
+		return err
+	}
+	if err := m.check(msg.To); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed[msg.From] {
+		return fmt.Errorf("transport: %w: peer %d", ErrCrashed, msg.From)
+	}
+	m.counter.Record(msg.Kind, msg.WireBytes())
+	if m.observer != nil {
+		m.observer(msg)
+	}
+	if m.crashed[msg.To] {
+		return nil
+	}
+	m.inboxes[msg.To] = append(m.inboxes[msg.To], msg)
+	return nil
+}
+
+// Drain removes and returns all messages queued for peer.
+func (m *Mesh) Drain(peer int) ([]Message, error) {
+	if err := m.check(peer); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.inboxes[peer]
+	m.inboxes[peer] = nil
+	return out, nil
+}
+
+func (m *Mesh) check(peer int) error {
+	if peer < 0 || peer >= m.n {
+		return fmt.Errorf("transport: peer %d out of [0,%d)", peer, m.n)
+	}
+	return nil
+}
+
+// ErrCrashed is returned when a crashed peer attempts to send.
+var ErrCrashed = errCrashed{}
+
+type errCrashed struct{}
+
+func (errCrashed) Error() string { return "peer crashed" }
