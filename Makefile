@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race chaos-smoke check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# 30-second deterministic chaos sweep. The start seed is pinned so CI
+# failures reproduce locally: any red seed reruns exactly with
+#   go run ./cmd/p2pfl-chaos -seed <seed>
+chaos-smoke:
+	$(GO) run ./cmd/p2pfl-chaos -seed 1 -soak 30s
+	$(GO) run ./cmd/p2pfl-chaos -seed 1 -target two-layer -steps 12
+
+check: vet build test race chaos-smoke

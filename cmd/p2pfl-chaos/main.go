@@ -1,0 +1,143 @@
+// Command p2pfl-chaos runs deterministic fault campaigns against the
+// virtual-time protocol stack and checks the protocol invariants
+// continuously (see internal/chaos):
+//
+//	p2pfl-chaos -seed 42                       one mixed campaign, raft-kv target
+//	p2pfl-chaos -seed 7 -mix crash -steps 40   crash-heavy campaign
+//	p2pfl-chaos -target two-layer -m 3 -n 3    two-layer cluster campaign
+//	p2pfl-chaos -soak 30s                      seed sweep until the wall clock runs out
+//	p2pfl-chaos -seed 9 -out fail.json         dump a replay file for the run
+//	p2pfl-chaos -replay fail.json              re-execute a dumped schedule exactly
+//
+// On an invariant violation the failing schedule is minimized by
+// bisection, written to -out (default chaos-replay.json) and the process
+// exits 1. Identical seeds always produce identical schedules and
+// verdicts, so any red run reported by CI reproduces locally from its
+// seed alone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "campaign seed (ignored with -replay)")
+		steps   = flag.Int("steps", 24, "number of fault actions in the schedule")
+		mix     = flag.String("mix", "mixed", "fault mix: mixed | crash | partition")
+		target  = flag.String("target", "raft-kv", "system under test: raft-kv | two-layer")
+		nodes   = flag.Int("nodes", 5, "raft group size (raft-kv target)")
+		m       = flag.Int("m", 3, "number of subgroups (two-layer target)")
+		n       = flag.Int("n", 3, "peers per subgroup (two-layer target)")
+		soak    = flag.Duration("soak", 0, "keep running campaigns with consecutive seeds for this long")
+		out     = flag.String("out", "chaos-replay.json", "replay file written on failure (or with -dump)")
+		dump    = flag.Bool("dump", false, "write the replay file even when the campaign passes")
+		replay  = flag.String("replay", "", "re-execute the schedule from a replay file instead of generating one")
+		budget  = flag.Int("min-budget", 64, "max campaign executions spent minimizing a failure")
+		verbose = flag.Bool("v", false, "print per-campaign stats")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		c, actions, err := chaos.LoadReplay(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := c.Execute(actions)
+		printReport(rep, true)
+		if !rep.Passed() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	base := campaign(*seed, *steps, *mix, *target, *nodes, *m, *n)
+	if *soak <= 0 {
+		runOne(base, *out, *dump, *budget, true)
+		return
+	}
+
+	// Soak mode: sweep consecutive seeds until the wall-clock budget is
+	// spent; first failure stops the sweep.
+	start := time.Now()
+	ran := 0
+	for time.Since(start) < *soak {
+		c := base
+		c.Seed = *seed + int64(ran)
+		runOne(c, *out, false, *budget, *verbose)
+		ran++
+	}
+	fmt.Printf("soak: %d campaigns (seeds %d..%d) in %v, all invariants held\n",
+		ran, *seed, *seed+int64(ran-1), time.Since(start).Round(time.Millisecond))
+}
+
+func campaign(seed int64, steps int, mix, target string, nodes, m, n int) chaos.Campaign {
+	c := chaos.Campaign{Seed: seed, Steps: steps, Nodes: nodes, Subgroups: m, SubgroupSize: n}
+	switch mix {
+	case "mixed":
+		c.Mix = chaos.DefaultMix
+	case "crash":
+		c.Mix = chaos.CrashHeavyMix
+	case "partition":
+		c.Mix = chaos.PartitionHeavyMix
+	default:
+		log.Fatalf("unknown mix %q (want mixed | crash | partition)", mix)
+	}
+	switch target {
+	case "raft-kv":
+		c.Target = chaos.TargetRaftKV
+	case "two-layer":
+		c.Target = chaos.TargetTwoLayer
+	default:
+		log.Fatalf("unknown target %q (want raft-kv | two-layer)", target)
+	}
+	return c
+}
+
+// runOne executes a campaign; on failure it minimizes the schedule,
+// writes the replay file and exits 1.
+func runOne(c chaos.Campaign, out string, dump bool, budget int, verbose bool) {
+	rep := c.Run()
+	if verbose || !rep.Passed() {
+		printReport(rep, !rep.Passed())
+	}
+	if rep.Passed() {
+		if dump {
+			if err := chaos.WriteReplay(out, rep); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("schedule dumped to %s\n", out)
+		}
+		return
+	}
+	minActions, minRep := chaos.Minimize(c, rep.Actions, budget)
+	fmt.Printf("minimized %d-action schedule to %d actions (%d violations persist)\n",
+		len(rep.Actions), len(minActions), len(minRep.Violations))
+	if err := chaos.WriteReplay(out, minRep); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replay file written to %s — reproduce with: p2pfl-chaos -replay %s\n", out, out)
+	os.Exit(1)
+}
+
+func printReport(rep *chaos.Report, showViolations bool) {
+	s := rep.Stats
+	verdict := "PASS"
+	if !rep.Passed() {
+		verdict = "FAIL"
+	}
+	fmt.Printf("seed %-6d %s  %s: %d crashes, %d restarts, %d partitions, %d net faults, %d leader changes, %d commits, %d SAC rounds, %d virtual ms\n",
+		rep.Campaign.Seed, string(rep.Campaign.Target), verdict,
+		s.Crashes, s.Restarts, s.Partitions, s.NetFaults, s.LeaderChanges, s.Commits, s.SACRounds, s.FinalVirtualMs)
+	if showViolations {
+		for _, v := range rep.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+func TestCampaignFlagMapping(t *testing.T) {
+	c := campaign(9, 12, "crash", "raft-kv", 7, 2, 4)
+	if c.Seed != 9 || c.Steps != 12 || c.Nodes != 7 {
+		t.Fatalf("campaign = %+v", c)
+	}
+	if c.Mix != chaos.CrashHeavyMix || c.Target != chaos.TargetRaftKV {
+		t.Fatalf("mix/target = %v/%v", c.Mix, c.Target)
+	}
+	c = campaign(1, 8, "partition", "two-layer", 5, 3, 3)
+	if c.Mix != chaos.PartitionHeavyMix || c.Target != chaos.TargetTwoLayer {
+		t.Fatalf("mix/target = %v/%v", c.Mix, c.Target)
+	}
+	if c.Subgroups != 3 || c.SubgroupSize != 3 {
+		t.Fatalf("m/n = %d/%d", c.Subgroups, c.SubgroupSize)
+	}
+}
+
+// The dump/replay loop the CLI offers: a passing campaign dumped with
+// -dump must re-execute from its replay file to the same verdict.
+func TestDumpedScheduleReplays(t *testing.T) {
+	c := campaign(4, 10, "mixed", "raft-kv", 5, 3, 3)
+	c.SACRounds = -1 // keep the smoke test quick
+	rep := c.Run()
+	if !rep.Passed() {
+		t.Fatalf("campaign failed: %v", rep.Violations)
+	}
+	path := filepath.Join(t.TempDir(), "replay.json")
+	if err := chaos.WriteReplay(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	c2, actions, err := chaos.LoadReplay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := c2.Execute(actions)
+	if !rep2.Passed() {
+		t.Fatalf("replay failed: %v", rep2.Violations)
+	}
+	if rep2.Stats != rep.Stats {
+		t.Fatalf("replay stats %+v differ from original %+v", rep2.Stats, rep.Stats)
+	}
+}

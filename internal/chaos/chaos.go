@@ -1,0 +1,322 @@
+// Package chaos is a deterministic, seed-replayable fault-campaign
+// engine for the protocols in this repository. A Campaign expands a seed
+// into a randomized schedule of crashes, restarts, leader kills,
+// partitions, message black-holes, loss and delay bursts, executes it
+// against the virtual-clock simulator (internal/simnet) while a set of
+// invariant checkers watch every transition, and renders a verdict:
+//
+//	Raft election safety    at most one leader per term, per group
+//	Log matching            same (index, term) ⇒ same entry, everywhere
+//	Commit safety           a committed index never changes content
+//	Commit monotonicity     a node's commit index never regresses
+//	State-machine agreement replicated kvstores converge to equal state
+//	SAC exactness           recovered k-out-of-n sums equal the plaintext
+//	                        sum whenever ≥ k shares survive
+//	SAC privacy             no single peer observes all n shares of
+//	                        another peer's model (k ≥ 2)
+//	Liveness                after the schedule quiesces, a leader emerges
+//	                        and a round/entry commits within a bound
+//
+// Everything is derived from Campaign.Seed through dedicated rand
+// streams and runs on one goroutine under virtual time, so the same seed
+// always produces the identical schedule, the identical execution and
+// the identical verdict — a red run is reproduced exactly by replaying
+// its schedule (see WriteReplay/LoadReplay), and Minimize shrinks a
+// failing schedule to a near-minimal one by bisection.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/simnet"
+)
+
+// Target selects the system a campaign drives.
+type Target string
+
+// Campaign targets.
+const (
+	// TargetRaftKV drives one raft group replicating a key-value store —
+	// the sharpest lens on the consensus substrate's safety properties.
+	TargetRaftKV Target = "raft-kv"
+	// TargetTwoLayer drives the paper's two-layer Raft (internal/cluster)
+	// and finishes with a full two-layer SAC aggregation round using the
+	// leaders the chaos left behind.
+	TargetTwoLayer Target = "two-layer"
+)
+
+// ActionKind enumerates fault types.
+type ActionKind string
+
+// Fault kinds. Each action is self-contained so schedules can be
+// reordered and subsets re-executed by the minimizer.
+const (
+	// ActCrash fail-stops one live node.
+	ActCrash ActionKind = "crash"
+	// ActRestart revives one crashed node from its persisted state.
+	ActRestart ActionKind = "restart"
+	// ActLeaderKill fail-stops whichever node currently leads.
+	ActLeaderKill ActionKind = "leader-kill"
+	// ActPartition splits the network into two sides.
+	ActPartition ActionKind = "partition"
+	// ActBlackhole silently drops all messages sent by one node.
+	ActBlackhole ActionKind = "blackhole"
+	// ActLoss sets a uniform message-loss probability.
+	ActLoss ActionKind = "loss"
+	// ActDelay sets a uniform message-delay jitter bound.
+	ActDelay ActionKind = "delay"
+	// ActHeal removes all network faults (partitions, black-holes, loss,
+	// delay). Crashed nodes stay crashed until ActRestart.
+	ActHeal ActionKind = "heal"
+)
+
+// Action is one scheduled fault. Node-targeting actions carry a rank, not
+// an ID: the executor resolves `Rank mod len(candidates)` against the
+// sorted candidate set (live nodes for a crash, down nodes for a restart)
+// at execution time, so an action generated without knowledge of the
+// future state is always meaningful and the whole schedule stays
+// deterministic under minimization.
+type Action struct {
+	// Step orders the action; it executes at (Step+1)·StepEvery.
+	Step int `json:"step"`
+	// Kind is the fault type.
+	Kind ActionKind `json:"kind"`
+	// Rank selects the target node among the sorted candidates.
+	Rank int `json:"rank,omitempty"`
+	// Side is a bitmask over sorted node positions choosing partition
+	// membership (bit i set ⇒ node i on side A).
+	Side uint64 `json:"side,omitempty"`
+	// Rate is the loss probability for ActLoss.
+	Rate float64 `json:"rate,omitempty"`
+	// DelayUs is the jitter bound in virtual microseconds for ActDelay.
+	DelayUs int64 `json:"delay_us,omitempty"`
+	// Group selects the sub-network on TargetTwoLayer: 0..m−1 is a
+	// subgroup, m is the FedAvg layer. Ignored by TargetRaftKV.
+	Group int `json:"group,omitempty"`
+}
+
+// FaultMix weights the fault kinds during schedule generation. Zero
+// weights exclude a kind; the zero value of the whole struct falls back
+// to DefaultMix.
+type FaultMix struct {
+	Crash      int `json:"crash"`
+	Restart    int `json:"restart"`
+	LeaderKill int `json:"leader_kill"`
+	Partition  int `json:"partition"`
+	Blackhole  int `json:"blackhole"`
+	Loss       int `json:"loss"`
+	Delay      int `json:"delay"`
+	Heal       int `json:"heal"`
+}
+
+// DefaultMix is a balanced fault mix.
+var DefaultMix = FaultMix{Crash: 3, Restart: 3, LeaderKill: 2, Partition: 2, Blackhole: 1, Loss: 1, Delay: 1, Heal: 3}
+
+// CrashHeavyMix emphasizes fail-stop faults.
+var CrashHeavyMix = FaultMix{Crash: 5, Restart: 5, LeaderKill: 3, Heal: 1}
+
+// PartitionHeavyMix emphasizes network faults.
+var PartitionHeavyMix = FaultMix{Partition: 5, Blackhole: 2, Loss: 2, Delay: 2, Heal: 4, Crash: 1, Restart: 1}
+
+func (m FaultMix) total() int {
+	return m.Crash + m.Restart + m.LeaderKill + m.Partition + m.Blackhole + m.Loss + m.Delay + m.Heal
+}
+
+// pick maps a roll in [0, total) to a kind.
+func (m FaultMix) pick(roll int) ActionKind {
+	for _, kw := range []struct {
+		k ActionKind
+		w int
+	}{
+		{ActCrash, m.Crash}, {ActRestart, m.Restart}, {ActLeaderKill, m.LeaderKill},
+		{ActPartition, m.Partition}, {ActBlackhole, m.Blackhole},
+		{ActLoss, m.Loss}, {ActDelay, m.Delay}, {ActHeal, m.Heal},
+	} {
+		if roll < kw.w {
+			return kw.k
+		}
+		roll -= kw.w
+	}
+	return ActHeal // unreachable for roll < total()
+}
+
+// Campaign parameterizes one fault campaign. The zero value of every
+// optional field has a sensible default (see normalize); Seed alone
+// defines the schedule for a given configuration.
+type Campaign struct {
+	// Seed drives schedule generation and every rng in the world.
+	Seed int64 `json:"seed"`
+	// Steps is the number of fault actions in the schedule.
+	Steps int `json:"steps"`
+	// Mix weights the fault kinds (zero value: DefaultMix).
+	Mix FaultMix `json:"mix"`
+	// Target selects the driven system (default TargetRaftKV).
+	Target Target `json:"target"`
+
+	// Nodes is the raft group size for TargetRaftKV (default 5).
+	Nodes int `json:"nodes,omitempty"`
+	// Subgroups × SubgroupSize shape TargetTwoLayer (default 3×3).
+	Subgroups    int `json:"subgroups,omitempty"`
+	SubgroupSize int `json:"subgroup_size,omitempty"`
+
+	// ElectionTickMin/Max and HeartbeatTick parameterize raft (defaults
+	// 50/100/15 — the paper's smallest healthy setting).
+	ElectionTickMin int `json:"election_tick_min,omitempty"`
+	ElectionTickMax int `json:"election_tick_max,omitempty"`
+	HeartbeatTick   int `json:"heartbeat_tick,omitempty"`
+	// LatencyUs is the one-way link latency in virtual microseconds
+	// (default 15 ms, as in the paper).
+	LatencyUs int64 `json:"latency_us,omitempty"`
+
+	// StepEveryUs spaces fault actions (default 200 ms virtual).
+	StepEveryUs int64 `json:"step_every_us,omitempty"`
+	// QuiesceTimeoutUs bounds the post-schedule liveness wait (default
+	// 60 s virtual).
+	QuiesceTimeoutUs int64 `json:"quiesce_timeout_us,omitempty"`
+	// SACRounds is the number of SAC exactness/privacy oracle rounds run
+	// per campaign (default 3; negative disables).
+	SACRounds int `json:"sac_rounds,omitempty"`
+
+	// ExtraCheckers run at every check interval and at quiesce on top of
+	// the built-in invariants. Not serialized into replay files — a test
+	// that injects a checker re-attaches it after LoadReplay.
+	ExtraCheckers []Checker `json:"-"`
+}
+
+func (c Campaign) normalize() Campaign {
+	if c.Steps <= 0 {
+		c.Steps = 20
+	}
+	if c.Mix.total() <= 0 {
+		c.Mix = DefaultMix
+	}
+	if c.Target == "" {
+		c.Target = TargetRaftKV
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 5
+	}
+	if c.Subgroups <= 0 {
+		c.Subgroups = 3
+	}
+	if c.SubgroupSize <= 0 {
+		c.SubgroupSize = 3
+	}
+	if c.ElectionTickMin <= 0 {
+		c.ElectionTickMin = 50
+	}
+	if c.ElectionTickMax <= c.ElectionTickMin {
+		c.ElectionTickMax = 2 * c.ElectionTickMin
+	}
+	if c.HeartbeatTick <= 0 {
+		c.HeartbeatTick = c.ElectionTickMin / 3
+		if c.HeartbeatTick < 1 {
+			c.HeartbeatTick = 1
+		}
+	}
+	if c.LatencyUs <= 0 {
+		c.LatencyUs = int64(15 * simnet.Millisecond)
+	}
+	if c.StepEveryUs <= 0 {
+		c.StepEveryUs = int64(200 * simnet.Millisecond)
+	}
+	if c.QuiesceTimeoutUs <= 0 {
+		c.QuiesceTimeoutUs = int64(60 * simnet.Second)
+	}
+	if c.SACRounds == 0 {
+		c.SACRounds = 3
+	}
+	return c
+}
+
+// Generate expands the campaign seed into its fault schedule. The
+// expansion is a pure function of the (normalized) campaign, so equal
+// campaigns always produce equal schedules.
+func (c Campaign) Generate() []Action {
+	c = c.normalize()
+	rng := rand.New(rand.NewSource(c.Seed*7919 + 13))
+	total := c.Mix.total()
+	actions := make([]Action, 0, c.Steps)
+	groups := 1
+	if c.Target == TargetTwoLayer {
+		groups = c.Subgroups + 1 // m subgroups + the FedAvg layer
+	}
+	for i := 0; i < c.Steps; i++ {
+		a := Action{Step: i, Kind: c.Mix.pick(rng.Intn(total)), Group: rng.Intn(groups)}
+		switch a.Kind {
+		case ActCrash, ActRestart, ActLeaderKill, ActBlackhole:
+			a.Rank = rng.Intn(1 << 16)
+		case ActPartition:
+			// Random non-trivial bitmask; the executor discards degenerate
+			// sides, so any value is acceptable here.
+			a.Side = uint64(rng.Int63())
+		case ActLoss:
+			a.Rate = 0.05 + 0.25*rng.Float64()
+		case ActDelay:
+			a.DelayUs = int64(simnet.Millisecond) * int64(1+rng.Intn(20))
+		}
+		actions = append(actions, a)
+	}
+	return actions
+}
+
+// Violation is one invariant breach observed during execution.
+type Violation struct {
+	// AtUs is the virtual time of the observation in microseconds.
+	AtUs int64 `json:"at_us"`
+	// Invariant names the breached checker.
+	Invariant string `json:"invariant"`
+	// Detail is a human-readable description.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%8.1fms] %s: %s", float64(v.AtUs)/1000, v.Invariant, v.Detail)
+}
+
+// Stats summarizes what a campaign actually exercised — a schedule in
+// which every action was a no-op proves nothing, so the counts are part
+// of the report.
+type Stats struct {
+	Crashes       int   `json:"crashes"`
+	Restarts      int   `json:"restarts"`
+	Partitions    int   `json:"partitions"`
+	NetFaults     int   `json:"net_faults"` // blackhole + loss + delay
+	Heals         int   `json:"heals"`
+	LeaderChanges int   `json:"leader_changes"`
+	Commits       int   `json:"commits"`
+	SACRounds     int   `json:"sac_rounds"`
+	FinalVirtualMs int64 `json:"final_virtual_ms"`
+}
+
+// Report is the outcome of one executed campaign.
+type Report struct {
+	Campaign   Campaign    `json:"campaign"`
+	Actions    []Action    `json:"actions"`
+	Violations []Violation `json:"violations"`
+	Stats      Stats       `json:"stats"`
+}
+
+// Passed reports whether every invariant held.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// Run generates the campaign's schedule and executes it.
+func (c Campaign) Run() *Report { return c.Execute(c.Generate()) }
+
+// Execute runs an explicit schedule (normally Generate's output, or a
+// minimized subset of it) under this campaign's configuration.
+func (c Campaign) Execute(actions []Action) *Report {
+	n := c.normalize()
+	rep := &Report{Campaign: c, Actions: actions}
+	switch n.Target {
+	case TargetTwoLayer:
+		executeTwoLayer(n, actions, rep)
+	default:
+		executeRaftKV(n, actions, rep)
+	}
+	if n.SACRounds > 0 {
+		runSACOracle(n, rep)
+	}
+	return rep
+}

@@ -1,0 +1,65 @@
+package chaos
+
+// Minimize shrinks a failing schedule to a (locally) minimal one by
+// delta-debugging over complements: repeatedly re-execute the campaign
+// with chunks of the schedule removed and keep any reduction that still
+// violates an invariant, halving the chunk size when no removal at the
+// current granularity reproduces the failure. budget caps the number of
+// campaign executions (≤ 0 means a default of 64).
+//
+// It returns the reduced schedule and the report of its last failing
+// execution; if the input schedule does not fail at all, it is returned
+// unchanged with its (passing) report.
+func Minimize(c Campaign, actions []Action, budget int) ([]Action, *Report) {
+	if budget <= 0 {
+		budget = 64
+	}
+	runs := 0
+	fails := func(as []Action) (*Report, bool) {
+		runs++
+		rep := c.Execute(as)
+		return rep, !rep.Passed()
+	}
+
+	curRep, bad := fails(actions)
+	if !bad {
+		return actions, curRep
+	}
+	// A failure that needs no faults at all (a broken base protocol, or
+	// an oracle breach) minimizes straight to the empty schedule.
+	if rep, b := fails(nil); b {
+		return nil, rep
+	}
+
+	cur := append([]Action(nil), actions...)
+	chunk := (len(cur) + 1) / 2
+	for chunk >= 1 && runs < budget {
+		reduced := false
+		for i := 0; i < len(cur) && runs < budget; i += chunk {
+			end := i + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := append(append([]Action(nil), cur[:i]...), cur[end:]...)
+			if len(cand) == len(cur) {
+				continue
+			}
+			if rep, b := fails(cand); b {
+				cur, curRep = cand, rep
+				reduced = true
+				break // rescan the smaller schedule at the same granularity
+			}
+		}
+		if reduced {
+			if chunk > len(cur) {
+				chunk = len(cur)
+			}
+			continue
+		}
+		if chunk == 1 {
+			break
+		}
+		chunk /= 2
+	}
+	return cur, curRep
+}

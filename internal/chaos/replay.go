@@ -1,0 +1,46 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// replayFile is the on-disk format: the campaign configuration plus the
+// exact schedule that produced a verdict. ExtraCheckers are code, not
+// data — a test that injected one re-attaches it after LoadReplay.
+type replayFile struct {
+	Campaign Campaign `json:"campaign"`
+	Actions  []Action `json:"actions"`
+	// Violations are included for the reader's benefit; Replay ignores
+	// them and re-derives the verdict.
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// WriteReplay dumps a report's campaign and schedule as JSON so the run
+// can be reproduced later (or on another machine) with LoadReplay.
+func WriteReplay(path string, rep *Report) error {
+	b, err := json.MarshalIndent(replayFile{
+		Campaign:   rep.Campaign,
+		Actions:    rep.Actions,
+		Violations: rep.Violations,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("chaos: encode replay: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadReplay reads a replay file back. Execute the returned schedule
+// under the returned campaign to reproduce the original run exactly.
+func LoadReplay(path string) (Campaign, []Action, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Campaign{}, nil, fmt.Errorf("chaos: read replay: %w", err)
+	}
+	var rf replayFile
+	if err := json.Unmarshal(b, &rf); err != nil {
+		return Campaign{}, nil, fmt.Errorf("chaos: decode replay %s: %w", path, err)
+	}
+	return rf.Campaign, rf.Actions, nil
+}

@@ -1,0 +1,392 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/raft"
+	"repro/internal/simnet"
+)
+
+// twWorld is the TargetTwoLayer system under test: the paper's two-layer
+// Raft deployment (internal/cluster) — m subgroup groups plus the FedAvg
+// layer formed from their leaders — subjected to the same fault schedule
+// vocabulary as the raft-kv world, with group-qualified targets.
+type twWorld struct {
+	c   Campaign
+	rep *Report
+	led *ledger
+	sys *cluster.System
+	m   int // number of subgroups; group index m addresses the FedAvg layer
+	stopped bool
+}
+
+// executeTwoLayer runs one schedule against a fresh two-layer cluster.
+func executeTwoLayer(c Campaign, actions []Action, rep *Report) {
+	sys, err := cluster.New(cluster.Options{
+		NumSubgroups:    c.Subgroups,
+		SubgroupSize:    c.SubgroupSize,
+		ElectionTickMin: c.ElectionTickMin,
+		ElectionTickMax: c.ElectionTickMax,
+		HeartbeatTick:   c.HeartbeatTick,
+		Latency:         simnet.Duration(c.LatencyUs),
+		Seed:            c.Seed,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("chaos: two-layer options invalid: %v", err)) // normalize() guarantees validity
+	}
+	w := &twWorld{c: c, rep: rep, led: newLedger(rep), sys: sys, m: sys.NumSubgroups()}
+
+	// Election safety is checked from raw role transitions on both layers.
+	sys.SetObserver(cluster.Observer{
+		SubgroupState: func(peer uint64, subgroup int, st raft.State, term, leader uint64) {
+			if st == raft.Leader {
+				rep.Stats.LeaderChanges++
+				w.led.noteLeader(int64(sys.Sim.Now()), fmt.Sprintf("sub%d", subgroup), term, peer)
+			}
+		},
+		FedState: func(peer uint64, st raft.State, term, leader uint64) {
+			if st == raft.Leader {
+				rep.Stats.LeaderChanges++
+				w.led.noteLeader(int64(sys.Sim.Now()), "fed", term, peer)
+			}
+		},
+	})
+
+	if err := sys.Bootstrap(60 * simnet.Second); err != nil {
+		w.led.violate(int64(sys.Sim.Now()), "liveness", fmt.Sprintf("bootstrap on a healthy network failed: %v", err))
+		return
+	}
+
+	step := simnet.Duration(c.StepEveryUs)
+	for _, a := range actions {
+		a := a
+		sys.Sim.Schedule(simnet.Duration(a.Step+1)*step, func() { w.apply(a) })
+	}
+	var check func()
+	check = func() {
+		if w.stopped {
+			return
+		}
+		w.sweep()
+		sys.Sim.Schedule(sweepEvery, check)
+	}
+	sys.Sim.Schedule(sweepEvery, check)
+
+	end := sys.Sim.Now() + simnet.Time(simnet.Duration(lastStep(actions, c.Steps)+1)*step)
+	sys.Sim.RunUntil(end)
+	w.quiesce()
+	w.stopped = true
+	rep.Stats.FinalVirtualMs = int64(sys.Sim.Now()) / 1000
+}
+
+// net resolves an action's group index to the sub-network it targets.
+func (w *twWorld) net(group int) *simnet.Group {
+	g := group % (w.m + 1)
+	if g == w.m {
+		return w.sys.FedNet()
+	}
+	return w.sys.SubgroupNet(g)
+}
+
+// peerPool lists the action's candidate peers: the members of the
+// targeted subgroup, or every peer when the action addresses the FedAvg
+// layer (whose membership is the floating set of subgroup leaders).
+func (w *twWorld) peerPool(group int) []uint64 {
+	g := group % (w.m + 1)
+	if g == w.m {
+		return w.sys.PeerIDs()
+	}
+	return w.sys.SubgroupPeers(g)
+}
+
+func (w *twWorld) apply(a Action) {
+	s := &w.rep.Stats
+	switch a.Kind {
+	case ActCrash:
+		var live []uint64
+		for _, id := range w.peerPool(a.Group) {
+			if !w.sys.Peer(id).Down() {
+				live = append(live, id)
+			}
+		}
+		if len(live) > 0 {
+			_ = w.sys.CrashPeer(live[a.Rank%len(live)])
+			s.Crashes++
+		}
+	case ActRestart:
+		var down []uint64
+		for _, id := range w.peerPool(a.Group) {
+			if w.sys.Peer(id).Down() {
+				down = append(down, id)
+			}
+		}
+		if len(down) > 0 {
+			if err := w.sys.RestartPeer(down[a.Rank%len(down)]); err == nil {
+				s.Restarts++
+			}
+		}
+	case ActLeaderKill:
+		g := a.Group % (w.m + 1)
+		var id uint64
+		if g == w.m {
+			id = w.sys.FedAvgLeader()
+		} else {
+			id = w.sys.SubgroupLeader(g)
+		}
+		if id != raft.None {
+			_ = w.sys.CrashPeer(id)
+			s.Crashes++
+		}
+	case ActPartition:
+		net := w.net(a.Group)
+		ids := net.IDs()
+		side := make(map[uint64]bool, len(ids))
+		aCount := 0
+		for i, id := range ids {
+			side[id] = a.Side>>(uint(i)%64)&1 == 1
+			if side[id] {
+				aCount++
+			}
+		}
+		if aCount == 0 || aCount == len(ids) {
+			return
+		}
+		net.Partition(side)
+		s.Partitions++
+	case ActBlackhole:
+		net := w.net(a.Group)
+		ids := net.IDs()
+		if len(ids) == 0 {
+			return
+		}
+		id := ids[a.Rank%len(ids)]
+		net.DropFilter = func(m raft.Message) bool { return m.From == id }
+		s.NetFaults++
+	case ActLoss:
+		w.net(a.Group).LossRate = a.Rate
+		s.NetFaults++
+	case ActDelay:
+		w.net(a.Group).Jitter = simnet.Duration(a.DelayUs)
+		s.NetFaults++
+	case ActHeal:
+		w.calmAll()
+		s.Heals++
+	}
+}
+
+func (w *twWorld) calmAll() {
+	for g := 0; g < w.m; g++ {
+		w.sys.SubgroupNet(g).Calm()
+	}
+	w.sys.FedNet().Calm()
+}
+
+// sweep checks log matching, committed-prefix agreement and commit
+// monotonicity on every subgroup, and log matching plus committed-prefix
+// agreement on the FedAvg layer. (FedAvg-layer commit monotonicity per
+// peer is deliberately not asserted: a peer that loses leadership and
+// later rejoins starts a fresh fed node, which is correct behaviour.)
+func (w *twWorld) sweep() {
+	now := int64(w.sys.Sim.Now())
+	for g := 0; g < w.m; g++ {
+		label := fmt.Sprintf("sub%d", g)
+		net := w.sys.SubgroupNet(g)
+		var nodes []*raft.Node
+		for _, id := range net.IDs() {
+			h := net.Host(id)
+			if h.Down() {
+				continue
+			}
+			nodes = append(nodes, h.Node)
+			w.led.noteCommitIndex(now, label, id, h.Node.CommitIndex())
+		}
+		w.led.checkLogMatching(now, label, nodes)
+		w.led.checkCommittedAgreement(now, label, nodes)
+	}
+	fed := w.sys.FedNet()
+	var fedNodes []*raft.Node
+	for _, id := range fed.IDs() {
+		if h := fed.Host(id); !h.Down() {
+			fedNodes = append(fedNodes, h.Node)
+		}
+	}
+	w.led.checkLogMatching(now, "fed", fedNodes)
+	w.led.checkCommittedAgreement(now, "fed", fedNodes)
+	w.led.runExtra(w.c.ExtraCheckers, w.view())
+}
+
+func (w *twWorld) view() View {
+	v := View{NowUs: int64(w.sys.Sim.Now())}
+	for _, id := range w.sys.PeerIDs() {
+		p := w.sys.Peer(id)
+		st := p.SubStatus()
+		v.Nodes = append(v.Nodes, NodeView{
+			ID:        id,
+			Group:     fmt.Sprintf("sub%d", p.Subgroup),
+			Down:      p.Down(),
+			State:     st.State,
+			Term:      st.Term,
+			Leader:    st.Leader,
+			Commit:    st.CommitIndex,
+			LastIndex: st.LastIndex,
+		})
+		if fst, ok := p.FedStatus(); ok && !p.Down() {
+			v.Nodes = append(v.Nodes, NodeView{
+				ID:        id,
+				Group:     "fed",
+				Down:      p.Down(),
+				State:     fst.State,
+				Term:      fst.Term,
+				Leader:    fst.Leader,
+				Commit:    fst.CommitIndex,
+				LastIndex: fst.LastIndex,
+			})
+		}
+	}
+	return v
+}
+
+// quiesce is the two-layer liveness phase: faults lifted and peers
+// revived, every subgroup and the FedAvg layer must re-elect leaders, and
+// a full two-layer aggregation round using exactly those leaders must
+// complete and equal the plaintext global mean — the paper's end-to-end
+// recovery claim made literal.
+func (w *twWorld) quiesce() {
+	sys := w.sys
+	w.calmAll()
+	deadline := sys.Sim.Now() + simnet.Time(w.c.QuiesceTimeoutUs)
+	now := func() int64 { return int64(sys.Sim.Now()) }
+
+	// Revive every crashed peer, and every crashed FedAvg-layer node: a
+	// schedule may have felled a majority of the layer's members, which
+	// the join protocol alone cannot recover from.
+	var revive func()
+	revive = func() {
+		anyDown := false
+		for _, id := range sys.PeerIDs() {
+			if sys.Peer(id).Down() {
+				if err := sys.RestartPeer(id); err != nil {
+					anyDown = true
+					continue
+				}
+			}
+			_ = sys.ReviveFedNode(id)
+		}
+		if anyDown && sys.Sim.Now() < deadline {
+			sys.Sim.Schedule(retryEvery, revive)
+		}
+	}
+	revive()
+
+	elected := func() bool {
+		for g := 0; g < w.m; g++ {
+			if sys.SubgroupLeader(g) == raft.None {
+				return false
+			}
+		}
+		return sys.FedAvgLeader() != raft.None
+	}
+	if !sys.Sim.RunWhileNot(elected, deadline) {
+		missing := "FedAvg layer"
+		for g := 0; g < w.m; g++ {
+			if sys.SubgroupLeader(g) == raft.None {
+				missing = fmt.Sprintf("subgroup %d", g)
+				break
+			}
+		}
+		w.led.violate(now(), "liveness", fmt.Sprintf("%s had no leader after schedule quiesced", missing))
+		return
+	}
+	// Let the freshly elected leaders finish joining the FedAvg layer so
+	// the round spec reflects a settled configuration.
+	fedID := sys.FedAvgLeader()
+	sys.Sim.RunWhileNot(func() bool {
+		for g := 0; g < w.m; g++ {
+			l := sys.SubgroupLeader(g)
+			if l == raft.None || !sys.Peer(l).Joined() {
+				return false
+			}
+		}
+		return true
+	}, deadline)
+
+	w.aggregationRound(fedID)
+	w.sweep()
+}
+
+// aggregationRound runs one two-layer SAC round with the leaders the
+// chaos left in place and checks its exactness against the plaintext
+// global mean.
+func (w *twWorld) aggregationRound(fedID uint64) {
+	sys := w.sys
+	now := int64(sys.Sim.Now())
+	sizes := make([]int, w.m)
+	offsets := make([]int, w.m)
+	total := 0
+	for g := 0; g < w.m; g++ {
+		offsets[g] = total
+		sizes[g] = len(sys.SubgroupPeers(g))
+		total += sizes[g]
+	}
+
+	// Map elected leaders (global peer IDs) to in-subgroup indices.
+	leaders := make([]int, w.m)
+	for g := 0; g < w.m; g++ {
+		id := sys.SubgroupLeader(g)
+		idx := -1
+		for i, pid := range sys.SubgroupPeers(g) {
+			if pid == id {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			w.led.violate(now, "liveness", fmt.Sprintf("subgroup %d leader %d not among its peers", g, id))
+			return
+		}
+		leaders[g] = idx
+	}
+	fedSub := -1
+	if p := sys.Peer(fedID); p != nil {
+		fedSub = p.Subgroup
+	}
+
+	coreSys, err := core.NewSystem(core.Config{
+		Sizes: sizes,
+		K:     []int{w.c.SubgroupSize - 1}, // k-out-of-n where sizes allow; clamped to n below that
+	}, rand.New(rand.NewSource(w.c.Seed^0x7f4a7c15)))
+	if err != nil {
+		w.led.violate(now, "liveness", fmt.Sprintf("aggregation config invalid: %v", err))
+		return
+	}
+	models := make([][]float64, total)
+	rng := rand.New(rand.NewSource(w.c.Seed ^ 0x2545f491))
+	for i := range models {
+		models[i] = []float64{math.Round(rng.Float64()*1000) / 8, math.Round(rng.Float64()*1000) / 8}
+	}
+	res, err := coreSys.AggregateRound(models, core.RoundSpec{Leaders: leaders, FedLeader: fedSub})
+	if err != nil {
+		w.led.violate(now, "liveness", fmt.Sprintf("aggregation round with elected leaders failed: %v", err))
+		return
+	}
+	w.rep.Stats.SACRounds++
+	want := make([]float64, len(models[0]))
+	for _, m := range models {
+		for d, v := range m {
+			want[d] += v
+		}
+	}
+	for d := range want {
+		want[d] /= float64(total)
+	}
+	for d := range want {
+		if math.Abs(res.Global[d]-want[d]) > 1e-9 {
+			w.led.violate(now, "sac-exactness",
+				fmt.Sprintf("post-quiesce round: global[%d] = %g, plaintext mean %g", d, res.Global[d], want[d]))
+			return
+		}
+	}
+}

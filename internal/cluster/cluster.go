@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"repro/internal/raft"
@@ -146,6 +147,23 @@ type Peer struct {
 // Down reports whether the peer has crashed.
 func (p *Peer) Down() bool { return p.subHost.Down() }
 
+// Joined reports whether the peer currently considers itself a member of
+// the FedAvg layer (its addition committed and observed).
+func (p *Peer) Joined() bool { return p.joined }
+
+// SubStatus returns the peer's subgroup raft node status — the probe
+// interface invariant checkers (internal/chaos) read.
+func (p *Peer) SubStatus() raft.Status { return p.subHost.Node.Status() }
+
+// FedStatus returns the peer's FedAvg-layer raft node status; ok is false
+// when the peer has never had a FedAvg-layer node.
+func (p *Peer) FedStatus() (raft.Status, bool) {
+	if p.fedHost == nil {
+		return raft.Status{}, false
+	}
+	return p.fedHost.Node.Status(), true
+}
+
 // IsSubgroupLeader reports whether the peer currently leads its subgroup.
 func (p *Peer) IsSubgroupLeader() bool {
 	return !p.Down() && p.subHost.Node.State() == raft.Leader
@@ -164,9 +182,29 @@ type System struct {
 	peers     map[uint64]*Peer
 	bySub     [][]uint64
 
-	rng    *rand.Rand
-	events []Event
+	rng      *rand.Rand
+	events   []Event
+	observer Observer
 }
+
+// Observer receives raw role transitions from every raft node in the
+// system — the probe interface the chaos harness (internal/chaos) uses to
+// check election safety (at most one leader per term per group)
+// continuously, independent of the event timeline the system itself
+// records. The callbacks run synchronously on the simulation goroutine
+// and must not mutate the system.
+type Observer struct {
+	// SubgroupState fires on every role/term/leader change of a peer's
+	// subgroup raft node.
+	SubgroupState func(peer uint64, subgroup int, st raft.State, term, leader uint64)
+	// FedState fires on every role/term/leader change of a peer's
+	// FedAvg-layer raft node.
+	FedState func(peer uint64, st raft.State, term, leader uint64)
+}
+
+// SetObserver installs the probe callbacks. Call before Bootstrap so no
+// transition is missed.
+func (s *System) SetObserver(o Observer) { s.observer = o }
 
 // New builds the system: subgroup Raft groups are created immediately;
 // call Bootstrap to elect initial leaders and form the FedAvg layer.
@@ -238,6 +276,27 @@ func (s *System) Peer(id uint64) *Peer { return s.peers[id] }
 
 // SubgroupPeers returns the peer IDs of subgroup g.
 func (s *System) SubgroupPeers(g int) []uint64 { return append([]uint64(nil), s.bySub[g]...) }
+
+// PeerIDs returns every peer ID in ascending order — the deterministic
+// iteration order fault campaigns require.
+func (s *System) PeerIDs() []uint64 {
+	out := make([]uint64, 0, len(s.peers))
+	for id := range s.peers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumSubgroups returns the subgroup count.
+func (s *System) NumSubgroups() int { return len(s.bySub) }
+
+// SubgroupNet exposes subgroup g's simulated network so fault campaigns
+// can inject partitions, loss and delay inside one subgroup.
+func (s *System) SubgroupNet(g int) *simnet.Group { return s.subGroups[g] }
+
+// FedNet exposes the FedAvg layer's simulated network.
+func (s *System) FedNet() *simnet.Group { return s.fedGroup }
 
 // Events returns the recorded timeline.
 func (s *System) Events() []Event { return append([]Event(nil), s.events...) }
@@ -346,6 +405,9 @@ const fedConfigPrefix = "fedcfg:"
 
 func (s *System) wireSubgroupCallbacks(p *Peer) {
 	p.subHost.OnStateChange = func(st raft.State, term, leader uint64) {
+		if s.observer.SubgroupState != nil {
+			s.observer.SubgroupState(p.ID, p.Subgroup, st, term, leader)
+		}
 		if st != raft.Leader {
 			return
 		}
@@ -382,6 +444,9 @@ func (s *System) wireSubgroupCallbacks(p *Peer) {
 
 func (s *System) wireFedCallbacks(p *Peer) {
 	p.fedHost.OnStateChange = func(st raft.State, term, leader uint64) {
+		if s.observer.FedState != nil {
+			s.observer.FedState(p.ID, st, term, leader)
+		}
 		if st == raft.Leader {
 			s.record(EvFedAvgLeader, p.ID, p.Subgroup)
 		}
@@ -547,6 +612,38 @@ func (s *System) RestartPeer(id uint64) error {
 	// FedAvg layer that membership only matters again once re-elected.
 	p.joined = false
 	return nil
+}
+
+// ReviveFedNode restarts a live peer's crashed FedAvg-layer raft node
+// from its persisted state without waiting for the peer to be re-elected
+// subgroup leader. This is the disaster-recovery path for a FedAvg layer
+// that lost a majority of its members at once — outside the paper's
+// ≤ k−1 failure assumption, where the join protocol alone cannot make
+// progress because no FedAvg leader survives to commit membership
+// changes. The revived node rejoins as a follower with its durable
+// term/vote/log intact; once the layer regains quorum, membership churn
+// resumes through the normal join protocol. No-op for peers that never
+// had a FedAvg-layer node or whose node is live; nodes that crashed
+// before persisting anything cannot be revived (they also never voted,
+// so skipping them is safe).
+func (s *System) ReviveFedNode(id uint64) error {
+	p := s.peers[id]
+	if p == nil {
+		return fmt.Errorf("cluster: unknown peer %d", id)
+	}
+	if p.Down() {
+		return fmt.Errorf("cluster: peer %d is down", id)
+	}
+	if p.fedHost == nil || !p.fedHost.Down() {
+		return nil
+	}
+	return p.fedHost.Restart(raft.Config{
+		ID:              p.ID,
+		ElectionTickMin: s.opts.ElectionTickMin,
+		ElectionTickMax: s.opts.ElectionTickMax,
+		HeartbeatTick:   s.opts.HeartbeatTick,
+		Rng:             rand.New(rand.NewSource(s.opts.Seed*3000 + int64(p.ID))),
+	})
 }
 
 // WaitSubgroupLeader runs the simulation until subgroup g has a live

@@ -40,6 +40,20 @@ func newLiveGroup(t *testing.T, router *Router, ids []uint64, seed int64) []*Dri
 	return drivers
 }
 
+// waitFor polls cond at a short interval until it holds or the timeout
+// passes — the only sanctioned way for these real-time tests to wait, so
+// no test path depends on a fixed wall-clock sleep being "long enough".
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestLiveElectionAndReplication(t *testing.T) {
 	router := NewRouter()
 	drivers := newLiveGroup(t, router, []uint64{1, 2, 3}, 1)
@@ -53,22 +67,14 @@ func TestLiveElectionAndReplication(t *testing.T) {
 	if err := lead.Propose([]byte("live-entry")); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(20 * time.Second)
-	for {
-		ok := true
+	waitFor(t, 20*time.Second, func() bool {
 		for _, d := range drivers {
 			if d.Status().CommitIndex <= before {
-				ok = false
+				return false
 			}
 		}
-		if ok {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("entry did not commit everywhere")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+		return true
+	}, "entry did not commit everywhere")
 }
 
 func TestLiveLeaderCrashRecovery(t *testing.T) {

@@ -327,6 +327,10 @@ func (n *Node) Members() []uint64 {
 // IsMember reports whether id is in the current configuration.
 func (n *Node) IsMember(id uint64) bool { return n.peers[id] }
 
+// LastIndex returns the index of the last entry in the log (including
+// the compacted prefix) — exposed for invariant probes (internal/chaos).
+func (n *Node) LastIndex() uint64 { return n.lastIndex() }
+
 func (n *Node) lastIndex() uint64 { return n.snapIndex + uint64(len(n.log)) }
 
 func (n *Node) termAt(i uint64) uint64 {
@@ -388,7 +392,11 @@ func (n *Node) campaign() {
 		n.becomeLeader()
 		return
 	}
-	for p := range n.peers {
+	// Iterate in sorted order so the emitted message order is identical
+	// across runs — the discrete-event simulator delivers same-time events
+	// in schedule order, and deterministic replay (internal/chaos) needs
+	// byte-for-byte identical runs from identical seeds.
+	for _, p := range n.Members() {
 		if p == n.id {
 			continue
 		}
@@ -471,7 +479,8 @@ func (n *Node) send(m Message) {
 }
 
 func (n *Node) broadcastAppend() {
-	for p := range n.peers {
+	// Sorted iteration keeps emission order deterministic (see campaign).
+	for _, p := range n.Members() {
 		if p == n.id {
 			continue
 		}
@@ -744,6 +753,21 @@ func (n *Node) maybeCommit() {
 // Ready drains the node's pending outputs: outbound messages and newly
 // committed entries (with conf changes applied to the membership view).
 func (n *Node) Ready() Ready {
+	// Auto-compaction runs before draining newly committed entries, so it
+	// only ever covers entries handed to the driver in earlier batches —
+	// which the driver has already applied to the state machine. Running
+	// it after the drain would stamp the snapshot with the new applied
+	// index while SnapshotState() still reflects the pre-batch state, and
+	// a follower installed from that snapshot would silently lose the
+	// batch.
+	if n.cfg.SnapshotThreshold > 0 && n.applied-n.snapIndex > uint64(n.cfg.SnapshotThreshold) {
+		var data []byte
+		if n.cfg.SnapshotState != nil {
+			data = n.cfg.SnapshotState()
+		}
+		// Compact cannot fail here: applied > snapIndex is guaranteed.
+		_ = n.Compact(n.applied, data)
+	}
 	rd := Ready{State: n.state, Term: n.term, Leader: n.leader}
 	rd.Messages = n.msgs
 	n.msgs = nil
@@ -760,15 +784,6 @@ func (n *Node) Ready() Ready {
 			}
 		}
 		rd.Committed = append(rd.Committed, e)
-	}
-	// Auto-compaction once enough applied entries accumulate.
-	if n.cfg.SnapshotThreshold > 0 && n.applied-n.snapIndex > uint64(n.cfg.SnapshotThreshold) {
-		var data []byte
-		if n.cfg.SnapshotState != nil {
-			data = n.cfg.SnapshotState()
-		}
-		// Compact cannot fail here: applied > snapIndex is guaranteed.
-		_ = n.Compact(n.applied, data)
 	}
 	return rd
 }

@@ -1,0 +1,110 @@
+package sac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// adversarialKinds are the message kinds an attacker might forge —
+// protocol kinds, a stale kind from "another subsystem", and garbage.
+var adversarialKinds = []string{
+	KindShare, KindSubtotal, KindRecoveryReq, KindRecovery, "sac/bogus", "",
+}
+
+// FuzzHandleMessage injects arbitrary adversarial messages into the mesh
+// before an aggregation runs: forged kinds, out-of-range share indices,
+// payloads of the wrong dimension, and replays of a whole earlier round.
+// The engine must never panic, must never double-count a model, and —
+// when none of the injections is well-formed enough to masquerade as a
+// genuine share or subtotal — must still produce the exact plaintext
+// average.
+func FuzzHandleMessage(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(2), []byte{0, 1, 2, 9, 3})
+	f.Add(int64(2), uint8(3), uint8(3), []byte{1, 0, 0, 0, 0, 2, 1, 1, 7, 8})
+	f.Add(int64(3), uint8(6), uint8(1), []byte{255, 255, 255, 255, 255})
+	f.Add(int64(4), uint8(1), uint8(1), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, kRaw uint8, raw []byte) {
+		n := 1 + int(nRaw)%6 // 1..6 peers
+		k := 1 + int(kRaw)%n // 1..n threshold
+		const dim = 3
+		rng := rand.New(rand.NewSource(seed))
+		models := make([][]float64, n)
+		for i := range models {
+			models[i] = make([]float64, dim)
+			for d := range models[i] {
+				models[i][d] = math.Round(rng.Float64()*512) / 8
+			}
+		}
+		mesh := transport.NewMesh(n, nil)
+		cfg := Config{N: n, K: k, Leader: int(nRaw) % n, Mode: ModeLeader,
+			Rng: rand.New(rand.NewSource(seed + 1))}
+
+		// Decode the fuzz bytes into injected messages, five bytes each:
+		// from, to, kind selector, share index (signed around zero so
+		// negatives are covered), payload length.
+		clean := true // no injection could pass the engine's validators
+		for i := 0; i+5 <= len(raw); i += 5 {
+			m := transport.Message{
+				From:     int(raw[i]) % n,
+				To:       int(raw[i+1]) % n,
+				Kind:     adversarialKinds[int(raw[i+2])%len(adversarialKinds)],
+				ShareIdx: int(raw[i+3]) - 128,
+				Payload:  make([]float64, int(raw[i+4])%(2*dim+1)),
+			}
+			for d := range m.Payload {
+				m.Payload[d] = rng.Float64() * 100
+			}
+			if err := mesh.Send(m); err != nil {
+				t.Fatalf("inject: %v", err)
+			}
+			wellFormed := (m.Kind == KindShare || m.Kind == KindSubtotal) &&
+				m.ShareIdx >= 0 && m.ShareIdx < n && len(m.Payload) == dim
+			if wellFormed {
+				clean = false
+			}
+		}
+
+		res, err := Run(mesh, cfg, models, nil) // must not panic
+		if err != nil {
+			// With no crashes scheduled the only legitimate failure is an
+			// injected message having displaced protocol state — which a
+			// well-formed forgery may do; anything else is a bug.
+			if clean {
+				t.Fatalf("n=%d k=%d: clean run failed: %v", n, k, err)
+			}
+			return
+		}
+		if got := len(res.Avg); got != dim {
+			t.Fatalf("avg dimension %d, want %d", got, dim)
+		}
+		if len(res.Contributors) != n {
+			t.Fatalf("contributors %v, want all %d peers", res.Contributors, n)
+		}
+		if clean {
+			// Exactness: injections were all discarded, so the average is
+			// the plain mean — in particular no model was double-counted.
+			for d := 0; d < dim; d++ {
+				want := 0.0
+				for i := range models {
+					want += models[i][d]
+				}
+				want /= float64(n)
+				if math.Abs(res.Avg[d]-want) > 1e-9 {
+					t.Fatalf("n=%d k=%d: avg[%d] = %g, want %g", n, k, d, res.Avg[d], want)
+				}
+			}
+		}
+
+		// Replay the entire round: every message of the finished round is
+		// still queued nowhere (the engine drains as it goes), but a second
+		// run on the same mesh sees any residue plus fresh state. It must
+		// not panic and must again count every peer exactly once.
+		res2, err := Run(mesh, cfg, models, nil)
+		if err == nil && len(res2.Contributors) != n {
+			t.Fatalf("replayed round contributors %v, want %d peers", res2.Contributors, n)
+		}
+	})
+}

@@ -211,7 +211,11 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 		return nil, ErrInsufficientPeers
 	}
 
-	// Deliver shares: drain each alive peer's inbox.
+	// Deliver shares: drain each alive peer's inbox. Anything that is not
+	// a well-formed share for this round — wrong kind, share index outside
+	// [0,n), payload of the wrong dimension, or a stale message replayed
+	// from an earlier round — is discarded: a malformed or replayed
+	// message must never panic the engine or double-count a model.
 	for j := 0; j < n; j++ {
 		if !e.mesh.Alive(j) {
 			continue
@@ -221,7 +225,7 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 			return nil, err
 		}
 		for _, m := range msgs {
-			if m.Kind == KindShare {
+			if e.validShare(m) {
 				e.store(received, j, m.ShareIdx, m.From, m.Payload)
 			}
 		}
@@ -276,6 +280,26 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 	}
 }
 
+// validShare reports whether m is a well-formed share message for this
+// round: right kind, in-range share index and sender, and a payload of
+// the model dimension. Duplicates are tolerated upstream — store keys by
+// (share index, contributor), so a replayed share overwrites rather than
+// double-counts.
+func (e *engine) validShare(m transport.Message) bool {
+	return m.Kind == KindShare &&
+		m.ShareIdx >= 0 && m.ShareIdx < e.cfg.N &&
+		m.From >= 0 && m.From < e.cfg.N &&
+		len(m.Payload) == e.dim
+}
+
+// validSubtotal is the analogous filter for subtotal messages.
+func (e *engine) validSubtotal(m transport.Message) bool {
+	return m.Kind == KindSubtotal &&
+		m.ShareIdx >= 0 && m.ShareIdx < e.cfg.N &&
+		m.From >= 0 && m.From < e.cfg.N &&
+		len(m.Payload) == e.dim
+}
+
 func (e *engine) store(received []map[int]map[int][]float64, peer, shareIdx, contributor int, share []float64) {
 	byContrib, ok := received[peer][shareIdx]
 	if !ok {
@@ -321,7 +345,7 @@ func (e *engine) finishBroadcast() (*Result, error) {
 		}
 		got := map[int][]float64{j: e.subtotals[j][j]}
 		for _, m := range msgs {
-			if m.Kind == KindSubtotal {
+			if e.validSubtotal(m) {
 				got[m.ShareIdx] = m.Payload
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/raft"
 )
@@ -138,6 +139,11 @@ type Group struct {
 	// LinkFilter, if set, drops any message for which it returns false —
 	// the hook for partitions and asymmetric link failures.
 	LinkFilter func(from, to uint64) bool
+	// DropFilter, if set, drops any message for which it returns true.
+	// Unlike LinkFilter it sees the whole message, so fault campaigns
+	// (internal/chaos) can target specific RPC types or directions —
+	// e.g. black-holing all AppendEntries from one node.
+	DropFilter func(m raft.Message) bool
 	// TickInterval is the raft tick period (default 1 ms, so raft tick
 	// counts are milliseconds).
 	TickInterval Duration
@@ -205,6 +211,17 @@ func (g *Group) Host(id uint64) *Host { return g.hosts[id] }
 
 // Hosts returns all hosts (including crashed ones).
 func (g *Group) Hosts() map[uint64]*Host { return g.hosts }
+
+// IDs returns all host IDs in sorted order. Fault campaigns iterate this
+// instead of Hosts() so that target selection is deterministic.
+func (g *Group) IDs() []uint64 {
+	out := make([]uint64, 0, len(g.hosts))
+	for id := range g.hosts {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Leader returns the ID of a live host currently in the Leader state with
 // the highest term, or raft.None.
@@ -312,8 +329,21 @@ func (g *Group) Partition(side map[uint64]bool) {
 // Heal removes any partition or custom link filter.
 func (g *Group) Heal() { g.LinkFilter = nil }
 
+// Calm removes every injected network fault at once: partitions, message
+// filters, loss and jitter. Fault campaigns call it when a schedule
+// quiesces so liveness can be checked on a clean network.
+func (g *Group) Calm() {
+	g.LinkFilter = nil
+	g.DropFilter = nil
+	g.LossRate = 0
+	g.Jitter = 0
+}
+
 func (g *Group) deliver(m raft.Message) {
 	if g.LinkFilter != nil && !g.LinkFilter(m.From, m.To) {
+		return
+	}
+	if g.DropFilter != nil && g.DropFilter(m) {
 		return
 	}
 	if g.LossRate > 0 && g.rng.Float64() < g.LossRate {

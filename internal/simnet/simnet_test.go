@@ -195,6 +195,91 @@ func TestOnStateChangeFires(t *testing.T) {
 	}
 }
 
+// A host restarted while still inside a partition must come back with
+// exactly the log it persisted: messages dropped by the partition (or in
+// flight at the crash) must not be resurrected by the restart. Only after
+// the partition heals may the replicated entries reach it.
+func TestRestartInsidePartitionNoResurrection(t *testing.T) {
+	sim := New()
+	g := newGroupCluster(t, sim, 5, 50, 100, 15*Millisecond, 6)
+	if !sim.RunWhileNot(func() bool { return g.Leader() != raft.None }, Time(2*Second)) {
+		t.Fatal("no leader")
+	}
+	sim.RunFor(200 * Millisecond)
+	lead := g.Leader()
+	if lead == raft.None {
+		t.Fatal("leadership lost during stable period")
+	}
+
+	// Count payload commits per host; OnCommit lives on the Host, so the
+	// hookup survives the restart below.
+	commits := map[uint64]int{}
+	for id, h := range g.Hosts() {
+		id := id
+		h.OnCommit = func(e raft.Entry) {
+			if e.Type == raft.EntryNormal && len(e.Data) > 0 {
+				commits[id]++
+			}
+		}
+	}
+
+	// Isolate one follower, then crash it inside the partition.
+	var isolated uint64
+	for _, id := range g.IDs() {
+		if id != lead {
+			isolated = id
+			break
+		}
+	}
+	g.Partition(map[uint64]bool{isolated: true})
+	g.Host(isolated).Crash()
+	baseIndex := g.Host(isolated).Node.LastIndex()
+
+	// The majority side keeps committing.
+	for i := 0; i < 3; i++ {
+		h := g.Host(g.Leader())
+		if err := h.Node.Propose([]byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+		h.Pump()
+		sim.RunFor(200 * Millisecond)
+	}
+	for _, id := range g.IDs() {
+		if id == isolated {
+			continue
+		}
+		if commits[id] != 3 {
+			t.Fatalf("majority host %d commits = %d, want 3", id, commits[id])
+		}
+	}
+
+	// Restart the host with the partition still up: nothing the partition
+	// dropped may appear — no new log entries, no new commits.
+	err := g.Host(isolated).Restart(raft.Config{
+		ID: isolated, Peers: g.IDs(),
+		ElectionTickMin: 50, ElectionTickMax: 100, HeartbeatTick: 16,
+		Rng: rand.New(rand.NewSource(600 + int64(isolated))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(2 * Second)
+	if got := commits[isolated]; got != 0 {
+		t.Fatalf("partitioned host committed %d entries after restart, want 0", got)
+	}
+	if got := g.Host(isolated).Node.LastIndex(); got != baseIndex {
+		t.Fatalf("partitioned host log grew to %d after restart, want %d", got, baseIndex)
+	}
+
+	// Heal, and the replicated entries finally arrive.
+	g.Heal()
+	ok := sim.RunWhileNot(func() bool { return commits[isolated] == 3 },
+		sim.Now()+Time(10*Second))
+	if !ok {
+		t.Fatalf("isolated host commits = %d after heal, want 3", commits[isolated])
+	}
+}
+
 func TestDuplicateHostRejected(t *testing.T) {
 	sim := New()
 	g := NewGroup(sim, "dup", 0, nil)

@@ -120,12 +120,17 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	if t2b.Addr() == addr2old {
 		t.Log("reused port (fine)")
 	}
-	// First send may fail on the stale connection; retry loop mimics the
-	// raft driver's behaviour.
+	// The first send may fail on the stale connection; poll the
+	// send-then-receive condition under a deadline (mimicking the raft
+	// driver's retries) instead of sleeping a fixed backoff and hoping.
+	deadline := time.Now().Add(10 * time.Second)
 	delivered := false
-	for i := 0; i < 20 && !delivered; i++ {
+	for !delivered {
+		if time.Now().After(deadline) {
+			t.Fatal("message not delivered after reconnect")
+		}
 		if err := t1.Send(raft.Message{Type: raft.MsgVoteRequest, From: 1, To: 2, Term: 2}); err != nil {
-			time.Sleep(50 * time.Millisecond)
+			time.Sleep(time.Millisecond) // redial immediately after a short breather
 			continue
 		}
 		select {
@@ -133,11 +138,8 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 			if m.Term == 2 {
 				delivered = true
 			}
-		case <-time.After(time.Second):
+		case <-time.After(100 * time.Millisecond):
 		}
-	}
-	if !delivered {
-		t.Fatal("message not delivered after reconnect")
 	}
 }
 
