@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos-smoke check
+# Tier-1 benchmarks: the compute hot path (matmul, im2col, one training
+# step), the per-client and 15-peer round loops, and the aggregation
+# engine. `make bench` snapshots them as BENCH_<n>.json; `make
+# bench-check` fails on a >20% ns/op regression vs the latest snapshot.
+BENCH_PATTERN := 'BenchmarkMatMul|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkPaperCNNTrainStep|BenchmarkClientTrainRound|BenchmarkRound15Peers|BenchmarkAggregate'
+BENCH_ARGS := -run '^$$' -bench $(BENCH_PATTERN) -benchmem -benchtime 10x ./...
+
+.PHONY: all build vet test race chaos-smoke check bench bench-check
 
 all: check
 
@@ -22,5 +29,11 @@ race:
 chaos-smoke:
 	$(GO) run ./cmd/p2pfl-chaos -seed 1 -soak 30s
 	$(GO) run ./cmd/p2pfl-chaos -seed 1 -target two-layer -steps 12
+
+bench:
+	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -write
+
+bench-check:
+	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -check
 
 check: vet build test race chaos-smoke

@@ -11,13 +11,54 @@
 package repro
 
 import (
+	"math/rand"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/nn"
 )
 
 // benchParams keeps each iteration fast while exercising the full paths.
 var benchParams = experiments.Params{Rounds: 15, Trials: 3, MaxN: 30, Seed: 1}
+
+// benchRound15Peers runs full federated rounds on a 15-peer, 3-subgroup
+// system with the given worker count — the end-to-end wall-clock view of
+// the parallel training engine. Results are bit-identical at any worker
+// count (see internal/core's TestWorkersBitIdenticalToSerial); only the
+// timing changes with available cores.
+func benchRound15Peers(b *testing.B, workers int) {
+	b.Helper()
+	cfg := core.TrainerConfig{
+		Core:         core.Config{Sizes: []int{5, 5, 5}},
+		Model:        func(rng *rand.Rand) (*nn.Model, error) { return nn.MLP(64, []int{32}, 4, rng), nil },
+		Flat:         true,
+		Data:         dataset.Tiny(4, 15*40, 60, 1),
+		Dist:         dataset.IID,
+		Rounds:       4,
+		EvalEvery:    4,
+		LearningRate: 2e-3,
+		Epochs:       1,
+		BatchSize:    20,
+		Workers:      workers,
+		Seed:         1,
+	}
+	var acc float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.RunTraining(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = s.FinalAcc()
+	}
+	b.ReportMetric(100*acc, "final-acc-%")
+}
+
+func BenchmarkRound15PeersSerial(b *testing.B)   { benchRound15Peers(b, 1) }
+func BenchmarkRound15PeersWorkers4(b *testing.B) { benchRound15Peers(b, 4) }
 
 func BenchmarkTable1Environment(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/dp"
@@ -43,6 +44,13 @@ type TrainerConfig struct {
 	Epochs       int
 	BatchSize    int
 
+	// Workers bounds how many selected clients train concurrently each
+	// round (mirroring Config.Parallel for the aggregation layer). 0 or 1
+	// trains serially. Any value yields bit-identical results: each
+	// client owns its model, optimizer, data partition and seeded RNGs,
+	// and losses/weights are reduced in client-index order.
+	Workers int
+
 	// ClientFraction selects the fraction of peers that train each round
 	// (Sec. III-A: the aggregate is over "randomly selected clients").
 	// Unselected peers still hold the global model and participate in
@@ -75,6 +83,9 @@ type Series struct {
 	TrainLoss []float64
 	// Bytes is cumulative aggregation traffic up to each evaluation.
 	Bytes []int64
+	// FinalGlobal is the global weight vector after the last round,
+	// recorded so determinism checks can compare runs bit-for-bit.
+	FinalGlobal []float64
 }
 
 // MovingAverage smooths values with a trailing window (the paper plots
@@ -161,38 +172,92 @@ func RunTraining(cfg TrainerConfig) (*Series, error) {
 	}
 
 	series := &Series{}
+	losses := make([]float64, numPeers)
+	errs := make([]error, numPeers)
 	for round := 1; round <= cfg.Rounds; round++ {
 		selected := selectClients(numPeers, cfg.ClientFraction, rng)
 		models := make([][]float64, numPeers)
 		counts := make([]float64, numPeers)
-		lossSum := 0.0
-		trained := 0
-		for i, c := range clients {
-			if err := c.SetWeights(global); err != nil {
-				return nil, err
+
+		// Unselected peers contribute the unchanged global vector (zero
+		// FedAvg weight), so they share `global` directly instead of
+		// round-tripping it through their model: the aggregation never
+		// mutates input vectors, and a peer's own weights are refreshed
+		// via SetWeights the next time it is selected.
+		var selIdx []int
+		for i := range clients {
+			if selected[i] {
+				selIdx = append(selIdx, i)
+			} else {
+				models[i] = global
 			}
-			if !selected[i] {
-				// Unselected peers contribute the unchanged global model
-				// with zero weight.
-				models[i] = c.Weights()
-				continue
+		}
+
+		trainOne := func(i int) {
+			c := clients[i]
+			if err := c.SetWeights(global); err != nil {
+				errs[i] = err
+				return
 			}
 			loss, err := c.TrainRound()
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
-			lossSum += loss
-			trained++
+			losses[i] = loss
 			w := c.Weights()
 			if cfg.DP != nil {
 				w, err = dp.PrivatizeUpdate(w, global, cfg.DPClip, cfg.DP,
 					rand.New(rand.NewSource(cfg.Seed*400+int64(round)*1000+int64(i))))
 				if err != nil {
-					return nil, err
+					errs[i] = err
+					return
 				}
 			}
 			models[i] = w
 			counts[i] = float64(c.SampleCount())
+		}
+
+		// Train the selected clients, fanning out across Workers
+		// goroutines when asked. Each client is self-contained (model,
+		// optimizer, partition, per-client and per-(round,client) RNGs),
+		// so execution order cannot affect any result; the reductions
+		// below walk selIdx in ascending client index, making parallel
+		// runs bit-identical to serial ones.
+		workers := cfg.Workers
+		if workers > len(selIdx) {
+			workers = len(selIdx)
+		}
+		if workers <= 1 {
+			for _, i := range selIdx {
+				trainOne(i)
+			}
+		} else {
+			idxCh := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range idxCh {
+						trainOne(i)
+					}
+				}()
+			}
+			for _, i := range selIdx {
+				idxCh <- i
+			}
+			close(idxCh)
+			wg.Wait()
+		}
+
+		lossSum := 0.0
+		trained := len(selIdx)
+		for _, i := range selIdx {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			lossSum += losses[i]
 		}
 
 		var crash map[int]sac.CrashPlan
@@ -231,6 +296,7 @@ func RunTraining(cfg TrainerConfig) (*Series, error) {
 			series.Bytes = append(series.Bytes, sys.Counter().TotalBytes())
 		}
 	}
+	series.FinalGlobal = global
 	return series, nil
 }
 

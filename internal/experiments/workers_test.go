@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestRecoveryWorkersDeterministic checks the parallel trial loop of the
+// recovery figures: Workers > 1 must reproduce the serial samples
+// exactly, because every trial owns a fresh, independently seeded
+// simulation and lands at its own index.
+func TestRecoveryWorkersDeterministic(t *testing.T) {
+	serial, err := Fig10(Params{Rounds: 5, Trials: 4, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig10(Params{Rounds: 5, Trials: 4, Seed: 11, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rows) != len(par.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial.Rows), len(par.Rows))
+	}
+	for i, row := range serial.Rows {
+		prow := par.Rows[i]
+		if len(row.Samples) != len(prow.Samples) {
+			t.Fatalf("T=%d: sample counts differ", row.TMs)
+		}
+		for j := range row.Samples {
+			if row.Samples[j] != prow.Samples[j] {
+				t.Fatalf("T=%d trial %d: %v (serial) vs %v (workers=3)",
+					row.TMs, j, row.Samples[j], prow.Samples[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package fl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/optim"
+)
+
+// BenchmarkClientTrainRound measures one client's full local update —
+// shuffle, minibatch forward/backward, optimizer steps — on the reduced
+// CNN, i.e. the per-peer unit of work the parallel round loop fans out.
+func BenchmarkClientTrainRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	spec := dataset.Tiny(4, 120, 10, 1)
+	train, _, err := dataset.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := nn.TinyCNN(spec.Channels, spec.Size, spec.Classes, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewClient(0, model, optim.NewAdam(1e-3), train,
+		TrainConfig{Epochs: 1, BatchSize: 30}, rand.New(rand.NewSource(2)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.TrainRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

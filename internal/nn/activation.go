@@ -7,9 +7,12 @@ import (
 	"repro/internal/tensor"
 )
 
-// ReLU applies max(0, x) elementwise.
+// ReLU applies max(0, x) elementwise. The output and gradient tensors
+// are layer-owned workspaces, reused across batches.
 type ReLU struct {
 	mask []bool
+	y    tensor.Scratch
+	dx   tensor.Scratch
 }
 
 // NewReLU creates a ReLU activation layer.
@@ -23,13 +26,20 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
-	y := x.Clone()
-	r.mask = make([]bool, y.Size())
-	for i, v := range y.Data() {
+	y := r.y.GetLike(x)
+	n := x.Size()
+	if cap(r.mask) < n {
+		r.mask = make([]bool, n)
+	}
+	r.mask = r.mask[:n]
+	xd, yd := x.Data(), y.Data()
+	for i, v := range xd {
 		if v > 0 {
+			yd[i] = v
 			r.mask[i] = true
 		} else {
-			y.Data()[i] = 0
+			yd[i] = 0
+			r.mask[i] = false
 		}
 	}
 	return y, nil
@@ -43,10 +53,13 @@ func (r *ReLU) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if grad.Size() != len(r.mask) {
 		return nil, fmt.Errorf("nn: ReLU: bad gradient shape %v", grad.Shape())
 	}
-	dx := grad.Clone()
+	dx := r.dx.GetLike(grad)
+	gd, dd := grad.Data(), dx.Data()
 	for i, keep := range r.mask {
-		if !keep {
-			dx.Data()[i] = 0
+		if keep {
+			dd[i] = gd[i]
+		} else {
+			dd[i] = 0
 		}
 	}
 	return dx, nil
@@ -71,7 +84,7 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) 
 	if x.Rank() < 2 {
 		return nil, fmt.Errorf("nn: Flatten: bad input shape %v", x.Shape())
 	}
-	f.lastShape = x.Shape()
+	f.lastShape = x.AppendShape(f.lastShape[:0])
 	return x.Reshape(x.Dim(0), x.Size()/x.Dim(0))
 }
 
@@ -90,6 +103,8 @@ type Dropout struct {
 	Rate float64
 	rng  *rand.Rand
 	mask []float64
+	y    tensor.Scratch
+	dx   tensor.Scratch
 }
 
 // NewDropout creates a Dropout layer with the given drop rate in [0, 1).
@@ -113,13 +128,20 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) 
 		return x, nil
 	}
 	keep := 1 - d.Rate
-	d.mask = make([]float64, x.Size())
-	y := x.Clone()
+	n := x.Size()
+	if cap(d.mask) < n {
+		d.mask = make([]float64, n)
+	}
+	d.mask = d.mask[:n]
+	y := d.y.GetLike(x)
+	xd, yd := x.Data(), y.Data()
 	for i := range d.mask {
 		if d.rng.Float64() < keep {
 			d.mask[i] = 1 / keep
+		} else {
+			d.mask[i] = 0
 		}
-		y.Data()[i] *= d.mask[i]
+		yd[i] = xd[i] * d.mask[i]
 	}
 	return y, nil
 }
@@ -133,9 +155,10 @@ func (d *Dropout) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if grad.Size() != len(d.mask) {
 		return nil, fmt.Errorf("nn: Dropout: bad gradient shape %v", grad.Shape())
 	}
-	dx := grad.Clone()
+	dx := d.dx.GetLike(grad)
+	gd, dd := grad.Data(), dx.Data()
 	for i, m := range d.mask {
-		dx.Data()[i] *= m
+		dd[i] = gd[i] * m
 	}
 	return dx, nil
 }

@@ -20,6 +20,15 @@ const (
 // Conv2D is a 2-D convolution over [batch, inC, H, W] inputs, implemented
 // as im2col followed by one matrix multiplication. Kernels are square
 // (k×k), stride is 1 — matching every convolution in the paper's CNN.
+//
+// The layer owns reusable scratch workspaces for the im2col lowering and
+// every intermediate product, so steady-state training performs no
+// per-batch allocations in this layer (the dominant memory churn of the
+// original implementation). Tensors returned by Forward/Backward alias
+// those workspaces: they are valid until the layer's next call, which is
+// exactly the lifetime the sequential training loop needs. A layer is
+// not safe for concurrent use; in parallel training each client owns its
+// model.
 type Conv2D struct {
 	inC, outC, k int
 	pad          Padding
@@ -29,6 +38,13 @@ type Conv2D struct {
 	lastCols            *tensor.Tensor
 	lastB, lastH, lastW int
 	lastOutH, lastOutW  int
+
+	cols  tensor.Scratch // [b·oh·ow, inC·k·k] im2col, kept for backward
+	flat  tensor.Scratch // [b·oh·ow, outC] pre-transpose activations
+	out   tensor.Scratch // [b, outC, oh, ow]
+	gflat tensor.Scratch // backward: grad rearranged to [b·oh·ow, outC]
+	dcols tensor.Scratch // backward: column-space input gradient
+	dx    tensor.Scratch // backward: input gradient
 }
 
 // NewConv2D creates a k×k stride-1 convolution with He-normal weights.
@@ -63,7 +79,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("nn: %s: bad input shape %v", c.Name(), x.Shape())
 	}
 	b, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
-	cols, outH, outW, err := tensor.Im2Col(x, c.k, c.k, 1, c.padPixels())
+	_, _, rows, colw := tensor.Im2ColShape(b, c.inC, h, w, c.k, c.k, 1, c.padPixels())
+	cols := c.cols.Get(rows, colw)
+	outH, outW, err := tensor.Im2ColInto(cols, x, c.k, c.k, 1, c.padPixels())
 	if err != nil {
 		return nil, fmt.Errorf("nn: %s: %w", c.Name(), err)
 	}
@@ -72,13 +90,12 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 
 	// cols: [b·outH·outW, inC·k·k]; W: [outC, inC·k·k]
 	// flat = cols·Wᵀ: [b·outH·outW, outC]
-	flat, err := tensor.MatMulTransB(cols, c.w.W)
-	if err != nil {
+	flat := c.flat.Get(rows, c.outC)
+	if err := tensor.MatMulTransBInto(flat, cols, c.w.W); err != nil {
 		return nil, err
 	}
 	bd := c.b.W.Data()
 	fd := flat.Data()
-	rows := flat.Dim(0)
 	for i := 0; i < rows; i++ {
 		row := fd[i*c.outC : (i+1)*c.outC]
 		for j := range row {
@@ -86,7 +103,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 		}
 	}
 	// Rearrange [b, outH, outW, outC] → [b, outC, outH, outW].
-	out := tensor.New(b, c.outC, outH, outW)
+	out := c.out.Get(b, c.outC, outH, outW)
 	od := out.Data()
 	for bi := 0; bi < b; bi++ {
 		for oy := 0; oy < outH; oy++ {
@@ -112,7 +129,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("nn: %s: bad gradient shape %v", c.Name(), grad.Shape())
 	}
 	// Rearrange grad [b, outC, outH, outW] → flat [b·outH·outW, outC].
-	flat := tensor.New(b*outH*outW, c.outC)
+	flat := c.gflat.Get(b*outH*outW, c.outC)
 	fd := flat.Data()
 	gd := grad.Data()
 	for bi := 0; bi < b; bi++ {
@@ -124,12 +141,9 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 			}
 		}
 	}
-	// dW += flatᵀ·cols ([outC, inC·k·k]); db += column sums of flat.
-	dw, err := tensor.MatMulTransA(flat, c.lastCols)
-	if err != nil {
-		return nil, err
-	}
-	if err := c.w.G.AddInPlace(dw); err != nil {
+	// dW += flatᵀ·cols ([outC, inC·k·k]), accumulated straight into the
+	// parameter gradient; db += column sums of flat.
+	if err := tensor.MatMulTransAAcc(c.w.G, flat, c.lastCols); err != nil {
 		return nil, err
 	}
 	gb := c.b.G.Data()
@@ -141,9 +155,13 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	}
 	// dcols = flat·W; dx = col2im(dcols).
-	dcols, err := tensor.MatMul(flat, c.w.W)
-	if err != nil {
+	dcols := c.dcols.GetLike(c.lastCols)
+	if err := tensor.MatMulInto(dcols, flat, c.w.W); err != nil {
 		return nil, err
 	}
-	return tensor.Col2Im(dcols, b, c.inC, c.lastH, c.lastW, c.k, c.k, 1, c.padPixels())
+	dx := c.dx.Get(b, c.inC, c.lastH, c.lastW)
+	if err := tensor.Col2ImInto(dx, dcols, c.k, c.k, 1, c.padPixels()); err != nil {
+		return nil, err
+	}
+	return dx, nil
 }

@@ -88,7 +88,10 @@ func BenchmarkPaperCNNForward(b *testing.B) {
 	}
 }
 
-func BenchmarkPaperCNNTrainStep(b *testing.B) {
+// BenchmarkPaperCNNForwardBackward covers the gradient path alone; the
+// full step (with the optimizer update) is BenchmarkPaperCNNTrainStep
+// in trainstep_bench_test.go.
+func BenchmarkPaperCNNForwardBackward(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	m, err := PaperCNN(3, 32, 10, rng)
 	if err != nil {

@@ -9,10 +9,18 @@ import (
 
 // Dense is a fully connected layer: y = x·Wᵀ + b with W of shape
 // [out, in] and b of shape [out]. Inputs are [batch, in].
+//
+// Like Conv2D, the layer owns reusable scratch workspaces for its output
+// and input gradient; the tensors it returns are valid until its next
+// call, and the weight gradient accumulates straight into w.G without a
+// scratch product.
 type Dense struct {
 	in, out int
 	w, b    *Param
 	lastX   *tensor.Tensor
+
+	y  tensor.Scratch
+	dx tensor.Scratch
 }
 
 // NewDense creates a Dense layer with He-normal weights and zero biases.
@@ -39,11 +47,11 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("nn: %s: bad input shape %v", d.Name(), x.Shape())
 	}
 	d.lastX = x
-	y, err := tensor.MatMulTransB(x, d.w.W)
-	if err != nil {
+	batch := x.Dim(0)
+	y := d.y.Get(batch, d.out)
+	if err := tensor.MatMulTransBInto(y, x, d.w.W); err != nil {
 		return nil, err
 	}
-	batch := x.Dim(0)
 	bd := d.b.W.Data()
 	yd := y.Data()
 	for i := 0; i < batch; i++ {
@@ -63,12 +71,9 @@ func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if grad.Rank() != 2 || grad.Dim(1) != d.out || grad.Dim(0) != d.lastX.Dim(0) {
 		return nil, fmt.Errorf("nn: %s: bad gradient shape %v", d.Name(), grad.Shape())
 	}
-	// dW += gradᵀ·x  ([out, in]); db += column sums of grad.
-	dw, err := tensor.MatMulTransA(grad, d.lastX)
-	if err != nil {
-		return nil, err
-	}
-	if err := d.w.G.AddInPlace(dw); err != nil {
+	// dW += gradᵀ·x ([out, in]), accumulated straight into the parameter
+	// gradient; db += column sums of grad.
+	if err := tensor.MatMulTransAAcc(d.w.G, grad, d.lastX); err != nil {
 		return nil, err
 	}
 	gb := d.b.G.Data()
@@ -81,5 +86,9 @@ func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	}
 	// dx = grad·W  ([batch, in]).
-	return tensor.MatMul(grad, d.w.W)
+	dx := d.dx.Get(batch, d.in)
+	if err := tensor.MatMulInto(dx, grad, d.w.W); err != nil {
+		return nil, err
+	}
+	return dx, nil
 }

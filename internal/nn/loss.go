@@ -10,11 +10,16 @@ import (
 // SoftmaxCrossEntropy is the fused softmax + categorical-cross-entropy
 // loss used by the paper's experiments. Fusing keeps the gradient
 // numerically exact: dL/dlogits = (softmax(logits) − onehot) / batch.
-type SoftmaxCrossEntropy struct{}
+// The probability and gradient tensors are reusable workspaces owned by
+// the loss value, valid until its next call.
+type SoftmaxCrossEntropy struct {
+	probs tensor.Scratch
+	grad  tensor.Scratch
+}
 
 // Forward computes the mean cross-entropy of logits [batch, classes]
 // against integer labels, along with the class probabilities.
-func (SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) (loss float64, probs *tensor.Tensor, err error) {
+func (l *SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) (loss float64, probs *tensor.Tensor, err error) {
 	if logits.Rank() != 2 {
 		return 0, nil, fmt.Errorf("nn: cross-entropy: logits must be rank 2, got %v", logits.Shape())
 	}
@@ -22,7 +27,8 @@ func (SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) (loss fl
 	if len(labels) != batch {
 		return 0, nil, fmt.Errorf("nn: cross-entropy: %d labels for batch %d", len(labels), batch)
 	}
-	probs = logits.Clone()
+	probs = l.probs.GetLike(logits)
+	copy(probs.Data(), logits.Data())
 	pd := probs.Data()
 	total := 0.0
 	for i := 0; i < batch; i++ {
@@ -56,12 +62,13 @@ func (SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) (loss fl
 }
 
 // Backward computes dL/dlogits from the probabilities returned by Forward.
-func (SoftmaxCrossEntropy) Backward(probs *tensor.Tensor, labels []int) (*tensor.Tensor, error) {
+func (l *SoftmaxCrossEntropy) Backward(probs *tensor.Tensor, labels []int) (*tensor.Tensor, error) {
 	batch, classes := probs.Dim(0), probs.Dim(1)
 	if len(labels) != batch {
 		return nil, fmt.Errorf("nn: cross-entropy: %d labels for batch %d", len(labels), batch)
 	}
-	grad := probs.Clone()
+	grad := l.grad.GetLike(probs)
+	copy(grad.Data(), probs.Data())
 	gd := grad.Data()
 	inv := 1.0 / float64(batch)
 	for i := 0; i < batch; i++ {

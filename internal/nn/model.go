@@ -12,6 +12,8 @@ type Model struct {
 	layers []Layer
 	loss   SoftmaxCrossEntropy
 
+	params []*Param // cached flat parameter list (layers are immutable)
+
 	lastProbs  *tensor.Tensor
 	lastLabels []int
 }
@@ -24,13 +26,17 @@ func NewModel(layers ...Layer) *Model {
 // Layers returns the layer stack.
 func (m *Model) Layers() []Layer { return m.layers }
 
-// Params returns every trainable parameter in layer order.
+// Params returns every trainable parameter in layer order. The slice is
+// computed once and cached — the layer stack never changes after
+// NewModel — so the optimizer and weight-vector hot paths don't rebuild
+// it every step. Callers must not mutate it.
 func (m *Model) Params() []*Param {
-	var ps []*Param
-	for _, l := range m.layers {
-		ps = append(ps, l.Params()...)
+	if m.params == nil {
+		for _, l := range m.layers {
+			m.params = append(m.params, l.Params()...)
+		}
 	}
-	return ps
+	return m.params
 }
 
 // ParamCount returns the total number of scalar weights.

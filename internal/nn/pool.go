@@ -16,6 +16,9 @@ type MaxPool2D struct {
 
 	lastShape []int // input shape
 	lastArg   []int // flat input index of each output's max
+
+	out tensor.Scratch
+	dx  tensor.Scratch
 }
 
 // NewMaxPool2D creates a pooling layer with window and stride p.
@@ -37,9 +40,12 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error
 	if outH == 0 || outW == 0 {
 		return nil, fmt.Errorf("nn: %s: input %dx%d smaller than window", m.Name(), h, w)
 	}
-	out := tensor.New(b, c, outH, outW)
-	m.lastShape = x.Shape()
-	m.lastArg = make([]int, out.Size())
+	out := m.out.Get(b, c, outH, outW)
+	m.lastShape = x.AppendShape(m.lastShape[:0])
+	if cap(m.lastArg) < out.Size() {
+		m.lastArg = make([]int, out.Size())
+	}
+	m.lastArg = m.lastArg[:out.Size()]
 	xd, od := x.Data(), out.Data()
 	for bi := 0; bi < b; bi++ {
 		for ci := 0; ci < c; ci++ {
@@ -77,10 +83,11 @@ func (m *MaxPool2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if grad.Size() != len(m.lastArg) {
 		return nil, fmt.Errorf("nn: %s: bad gradient shape %v", m.Name(), grad.Shape())
 	}
-	dx := tensor.New(m.lastShape...)
-	dd := dx.Data()
+	dx := m.dx.Get(m.lastShape...)
+	dx.Zero()
+	dd, gd := dx.Data(), grad.Data()
 	for o, src := range m.lastArg {
-		dd[src] += grad.Data()[o]
+		dd[src] += gd[o]
 	}
 	return dx, nil
 }

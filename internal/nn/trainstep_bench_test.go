@@ -1,0 +1,46 @@
+package nn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// BenchmarkPaperCNNTrainStep measures one full training step (zero-grad,
+// forward, loss, backward, Adam update) of the paper's CNN at batch 8 —
+// the hot path of every federated round. Allocations should stay flat in
+// steady state thanks to the layer-owned scratch workspaces.
+func BenchmarkPaperCNNTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	model, err := nn.PaperCNN(3, 32, 10, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := optim.NewAdam(1e-4)
+	const batch = 8
+	x := tensor.New(batch, 3, 32, 32)
+	for i, d := 0, x.Data(); i < len(d); i++ {
+		d[i] = rng.Float64()
+	}
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = rng.Intn(10)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.ZeroGrad()
+		if _, err := model.Loss(x, labels); err != nil {
+			b.Fatal(err)
+		}
+		if err := model.Backward(); err != nil {
+			b.Fatal(err)
+		}
+		if err := opt.Step(model.Params()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

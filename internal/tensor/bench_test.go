@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Paper-CNN operand shapes (CIFAR input, batch 8): the three matmul
+// flavours the conv/dense hot path actually issues.
+//
+//	forward   cols[b·oh·ow, inC·3·3] · Wᵀ[outC, inC·3·3]
+//	backward  flatᵀ[b·oh·ow, outC] · cols  (weight gradient)
+//	backward  flat[b·oh·ow, outC] · W      (input gradient)
+func benchOperands(b *testing.B, m, k, n int) (*Tensor, *Tensor, *Tensor) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, m, k)
+	bb := randMat(rng, k, n)
+	dst := New(m, n)
+	return a, bb, dst
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	// conv2 of the paper CNN at batch 8: dcols = flat·W.
+	a, bb, dst := benchOperands(b, 8*30*30, 32, 288)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MatMulInto(dst, a, bb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulTransB(b *testing.B) {
+	// conv2 forward at batch 8: flat = cols·Wᵀ.
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, 8*30*30, 288)
+	w := randMat(rng, 32, 288)
+	dst := New(8*30*30, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MatMulTransBInto(dst, a, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulTransAAcc(b *testing.B) {
+	// conv2 weight gradient at batch 8: dW += flatᵀ·cols.
+	rng := rand.New(rand.NewSource(1))
+	flat := randMat(rng, 8*30*30, 32)
+	cols := randMat(rng, 8*30*30, 288)
+	dst := New(32, 288)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MatMulTransAAcc(dst, flat, cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	// conv1 of the paper CNN at batch 8: 3×32×32 same-pad lowering.
+	rng := rand.New(rand.NewSource(1))
+	x := New(8, 3, 32, 32)
+	for i := range x.data {
+		x.data[i] = rng.NormFloat64()
+	}
+	_, _, rows, cols := Im2ColShape(8, 3, 32, 32, 3, 3, 1, 1)
+	dst := New(rows, cols)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Im2ColInto(dst, x, 3, 3, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCol2Im(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	_, _, rows, colw := Im2ColShape(8, 3, 32, 32, 3, 3, 1, 1)
+	cols := randMat(rng, rows, colw)
+	dst := New(8, 3, 32, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Col2ImInto(dst, cols, 3, 3, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

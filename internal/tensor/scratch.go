@@ -1,0 +1,51 @@
+package tensor
+
+// Scratch is a single-slot reusable tensor buffer for hot loops that
+// repeatedly need a tensor of the same (or occasionally alternating)
+// shape — the per-layer activation and gradient workspaces of the
+// training hot path.
+//
+// Get returns the cached tensor when the shape matches, re-slices the
+// cached backing array when only the shape changed but the capacity
+// suffices, and allocates otherwise. Contents are NOT cleared: callers
+// must fully overwrite (or explicitly zero) what Get returns. A Scratch
+// is not safe for concurrent use; give each goroutine-owned layer its
+// own.
+type Scratch struct {
+	t *Tensor
+}
+
+// Get returns a tensor of the given shape, reusing the previous
+// allocation when possible. The returned tensor stays owned by the
+// Scratch: it is only valid until the next Get with a different shape.
+func (s *Scratch) Get(shape ...int) *Tensor {
+	if s.t != nil && len(s.t.shape) == len(shape) {
+		same := true
+		for i, d := range shape {
+			if s.t.shape[i] != d {
+				same = false
+				break
+			}
+		}
+		if same {
+			return s.t
+		}
+	}
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if s.t != nil && cap(s.t.data) >= n {
+		sh := make([]int, len(shape))
+		copy(sh, shape)
+		s.t = &Tensor{shape: sh, data: s.t.data[:n]}
+		return s.t
+	}
+	s.t = New(shape...)
+	return s.t
+}
+
+// GetLike is Get with the shape of t, without the copy Shape() makes.
+func (s *Scratch) GetLike(t *Tensor) *Tensor {
+	return s.Get(t.shape...)
+}

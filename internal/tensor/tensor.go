@@ -69,6 +69,10 @@ func (t *Tensor) Shape() []int {
 	return s
 }
 
+// AppendShape appends the tensor's shape to dst and returns the result,
+// for hot paths that want to record a shape without Shape's allocation.
+func (t *Tensor) AppendShape(dst []int) []int { return append(dst, t.shape...) }
+
 // Dim returns the size of dimension i.
 func (t *Tensor) Dim(i int) int { return t.shape[i] }
 
@@ -260,91 +264,6 @@ func (t *Tensor) Norm2() float64 {
 		s += v * v
 	}
 	return math.Sqrt(s)
-}
-
-// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n).
-func MatMul(a, b *Tensor) (*Tensor, error) {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		return nil, fmt.Errorf("%w: matmul requires rank-2 operands, got %v and %v", ErrShape, a.shape, b.shape)
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("%w: matmul %v × %v", ErrShape, a.shape, b.shape)
-	}
-	c := New(m, n)
-	// ikj loop order keeps the inner loops sequential over both B and C
-	// rows, which matters for the im2col-based convolutions.
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		crow := c.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-	return c, nil
-}
-
-// MatMulTransA computes C = Aᵀ·B for A (k×m) and B (k×n) without
-// materializing the transpose.
-func MatMulTransA(a, b *Tensor) (*Tensor, error) {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		return nil, fmt.Errorf("%w: matmulTransA requires rank-2 operands", ErrShape)
-	}
-	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("%w: matmulTransA %v × %v", ErrShape, a.shape, b.shape)
-	}
-	c := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.data[p*m : (p+1)*m]
-		brow := b.data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := c.data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-	return c, nil
-}
-
-// MatMulTransB computes C = A·Bᵀ for A (m×k) and B (n×k) without
-// materializing the transpose.
-func MatMulTransB(a, b *Tensor) (*Tensor, error) {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		return nil, fmt.Errorf("%w: matmulTransB requires rank-2 operands", ErrShape)
-	}
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("%w: matmulTransB %v × %v", ErrShape, a.shape, b.shape)
-	}
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		crow := c.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] = s
-		}
-	}
-	return c, nil
 }
 
 // Transpose returns the transpose of a 2-D tensor.
