@@ -1,13 +1,16 @@
 GO ?= go
 
 # Tier-1 benchmarks: the compute hot path (matmul, im2col, one training
-# step), the per-client and 15-peer round loops, and the aggregation
-# engine. `make bench` snapshots them as BENCH_<n>.json; `make
-# bench-check` fails on a >20% ns/op regression vs the latest snapshot.
-BENCH_PATTERN := 'BenchmarkMatMul|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkPaperCNNTrainStep|BenchmarkClientTrainRound|BenchmarkRound15Peers|BenchmarkAggregate'
+# step), the per-client and 15-peer round loops, the aggregation
+# engine, and the telemetry overhead pairs. `make bench` snapshots them
+# as BENCH_<n>.json; `make bench-check` fails on a >20% ns/op
+# regression vs the latest snapshot, or on an instrumented/nil
+# telemetry pair exceeding its same-run 5% overhead budget.
+BENCH_PATTERN := 'BenchmarkMatMul|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkPaperCNNTrainStep|BenchmarkClientTrainRound|BenchmarkRound15Peers|BenchmarkAggregate|BenchmarkRaftTick|BenchmarkSACRound'
 BENCH_ARGS := -run '^$$' -bench $(BENCH_PATTERN) -benchmem -benchtime 10x ./...
+TELEMETRY_PAIRS := 'RaftTickLive=RaftTickNil,SACRoundLive=SACRoundNil'
 
-.PHONY: all build vet test race chaos-smoke check bench bench-check
+.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry
 
 all: check
 
@@ -34,6 +37,15 @@ bench:
 	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -write
 
 bench-check:
-	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -check
+	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -check -pairs $(TELEMETRY_PAIRS) -pair-tolerance 0.05
+
+# Telemetry exposition suite under -race: the registry package in
+# full, the wired subsystems' counting/determinism regressions, and the
+# /debug/telemetry schema golden.
+test-telemetry:
+	$(GO) test -race ./internal/telemetry/ ./cmd/p2pfl-node/ ./cmd/p2pfl-benchjson/
+	$(GO) test -race -run 'Telemetry' \
+		./internal/transport/ ./internal/live/ ./internal/cluster/ \
+		./internal/chaos/ ./cmd/p2pfl-sim/
 
 check: vet build test race chaos-smoke

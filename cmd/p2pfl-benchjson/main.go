@@ -14,6 +14,14 @@
 // more than -tolerance (default 20%). Benchmarks only on one side are
 // reported but never fail the check, so adding or retiring benchmarks
 // doesn't break CI.
+//
+// -pairs adds same-run ratio checks: "A=B,C=D" asserts ns/op(A) stays
+// within -pair-tolerance (default 5%) of ns/op(B) in the CURRENT run.
+// Unlike the snapshot comparison, machine-speed drift cancels out, so
+// this is the right guard for "instrumented vs uninstrumented" overhead
+// contracts (e.g. RaftTickLive=RaftTickNil). A pair with either member
+// missing from the run fails the check — a silently skipped overhead
+// gate is a broken gate.
 package main
 
 import (
@@ -170,12 +178,49 @@ func check(latest string, current []Benchmark, tolerance float64) error {
 	return nil
 }
 
+// checkPairs enforces same-run ratio contracts parsed from "A=B,...":
+// ns/op(A) must not exceed ns/op(B) by more than tolerance.
+func checkPairs(spec string, current []Benchmark, tolerance float64) error {
+	byName := map[string]Benchmark{}
+	for _, b := range current {
+		byName[b.Name] = b
+	}
+	failed := 0
+	for _, pair := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return fmt.Errorf("bad -pairs entry %q: want Name=Baseline", pair)
+		}
+		a, okA := byName[parts[0]]
+		base, okB := byName[parts[1]]
+		if !okA || !okB {
+			fmt.Printf("  MISSING   %s=%s: benchmark not in this run\n", parts[0], parts[1])
+			failed++
+			continue
+		}
+		ratio := a.NsPerOp / base.NsPerOp
+		status := "ok"
+		if ratio > 1+tolerance {
+			status = "EXCEEDED"
+			failed++
+		}
+		fmt.Printf("  %-9s %s / %s = %.3f (budget %.3f)\n",
+			status, a.Name, base.Name, ratio, 1+tolerance)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d pair(s) exceeded the %.0f%% same-run overhead budget", failed, 100*tolerance)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		write     = flag.Bool("write", false, "write results to the next free BENCH_<n>.json")
 		checkFlag = flag.Bool("check", false, "compare results against the latest BENCH_<n>.json")
 		dir       = flag.String("dir", ".", "directory holding BENCH_<n>.json snapshots")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression for -check")
+		pairs     = flag.String("pairs", "", "same-run ratio contracts 'A=B,C=D' checked with -check")
+		pairTol   = flag.Float64("pair-tolerance", 0.05, "allowed fractional ns/op excess of A over B for -pairs")
 	)
 	flag.Parse()
 	if *write == *checkFlag {
@@ -206,8 +251,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "no BENCH_<n>.json snapshot in %s to check against\n", *dir)
 			os.Exit(1)
 		}
-		if err := check(paths[len(paths)-1], benches, *tolerance); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		// Run both checks before exiting so a snapshot regression never
+		// hides the pair-gate verdict (and vice versa).
+		checkErr := check(paths[len(paths)-1], benches, *tolerance)
+		var pairErr error
+		if *pairs != "" {
+			pairErr = checkPairs(*pairs, benches, *pairTol)
+		}
+		for _, err := range []error{checkErr, pairErr} {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+		if checkErr != nil || pairErr != nil {
 			os.Exit(1)
 		}
 		return

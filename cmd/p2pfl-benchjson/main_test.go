@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLines(t *testing.T) {
+	in := `goos: linux
+BenchmarkRaftTickNil-4   	      10	   1299996 ns/op	 1192000 B/op	   10000 allocs/op
+BenchmarkRaftTickLive   	      10	   1216683 ns/op
+PASS
+`
+	benches, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	if benches[0].Name != "RaftTickNil" || benches[0].NsPerOp != 1299996 || benches[0].AllocsPerOp != 10000 {
+		t.Errorf("first line parsed as %+v", benches[0])
+	}
+	if benches[1].Name != "RaftTickLive" || benches[1].NsPerOp != 1216683 {
+		t.Errorf("second line parsed as %+v", benches[1])
+	}
+}
+
+func TestCheckPairs(t *testing.T) {
+	cur := []Benchmark{
+		{Name: "TickNil", NsPerOp: 1000},
+		{Name: "TickLive", NsPerOp: 1040},
+		{Name: "RoundNil", NsPerOp: 500},
+		{Name: "RoundLive", NsPerOp: 600},
+	}
+	if err := checkPairs("TickLive=TickNil", cur, 0.05); err != nil {
+		t.Errorf("4%% overhead within a 5%% budget failed: %v", err)
+	}
+	if err := checkPairs("RoundLive=RoundNil", cur, 0.05); err == nil {
+		t.Error("20% overhead passed a 5% budget")
+	}
+	if err := checkPairs("TickLive=TickNil,RoundLive=RoundNil", cur, 0.05); err == nil {
+		t.Error("one exceeded pair in a list passed")
+	}
+	// A pair member missing from the run must fail, not silently skip.
+	if err := checkPairs("TickLive=Gone", cur, 0.05); err == nil {
+		t.Error("missing baseline passed")
+	}
+	if err := checkPairs("garbage", cur, 0.05); err == nil {
+		t.Error("malformed spec passed")
+	}
+	// A faster instrumented variant is always within budget.
+	if err := checkPairs("RoundNil=RoundLive", cur, 0.05); err != nil {
+		t.Errorf("ratio < 1 failed: %v", err)
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"log"
+	"net/http"
+
+	"repro/internal/telemetry"
+)
+
+// newDebugMux builds the node's debug HTTP surface. /debug/telemetry
+// serves the registry's JSON snapshot — counters, gauges, histograms
+// and the recent trace ring — so an operator can watch a live node
+// without attaching a debugger:
+//
+//	curl -s http://127.0.0.1:6060/debug/telemetry | jq .counters
+func newDebugMux(reg *telemetry.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// serveDebug starts the debug listener in the background; failures are
+// logged, not fatal — telemetry must never take the node down.
+func serveDebug(addr string, reg *telemetry.Registry) {
+	go func() {
+		if err := http.ListenAndServe(addr, newDebugMux(reg)); err != nil {
+			log.Printf("debug server on %s: %v", addr, err)
+		}
+	}()
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// populatedRegistry builds a registry on a fixed clock exercising every
+// element of the exposition schema: counters, a gauge, a histogram with
+// an overflow observation, and trace events with and without fields.
+func populatedRegistry() *telemetry.Registry {
+	reg := telemetry.New()
+	reg.SetClock(func() int64 { return 1234567 })
+	reg.Counter("raft/elections_won").Add(3)
+	reg.Counter("transport/msgs_sent").Add(42)
+	reg.Gauge("round/fedavg_weight_total").Set(0.75)
+	h := reg.Histogram("sac/phase_share_us", []float64{100, 1000, 10000})
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(99999) // overflow bucket
+	reg.Trace("raft/leader_elected", 2, 0, telemetry.F("term", 4))
+	reg.Trace("round/aggregate", 1, -1)
+	return reg
+}
+
+// TestDebugTelemetryGolden pins the /debug/telemetry JSON schema to a
+// golden file: any change to field names, ordering or layout — the
+// exposition contract external scrapers depend on — fails this test
+// until the golden is regenerated with -update.
+func TestDebugTelemetryGolden(t *testing.T) {
+	srv := httptest.NewServer(newDebugMux(populatedRegistry()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "telemetry.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with `go test -run Golden -update ./cmd/p2pfl-node`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("/debug/telemetry drifted from golden schema\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The document must also be structurally valid for scrapers that
+	// parse rather than diff.
+	var doc struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]float64
+		Histograms map[string]struct {
+			Bounds []float64 `json:"bounds"`
+			Counts []int64   `json:"counts"`
+			Count  int64     `json:"count"`
+			Sum    float64   `json:"sum"`
+		} `json:"histograms"`
+		Trace      []json.RawMessage `json:"trace"`
+		TraceTotal int               `json:"trace_total"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("response is not valid JSON: %v", err)
+	}
+	if doc.Counters["raft/elections_won"] != 3 {
+		t.Errorf("counters[raft/elections_won] = %d, want 3", doc.Counters["raft/elections_won"])
+	}
+	h := doc.Histograms["sac/phase_share_us"]
+	if h.Count != 3 || len(h.Counts) != len(h.Bounds)+1 {
+		t.Errorf("histogram snapshot malformed: %+v", h)
+	}
+	if doc.TraceTotal != 2 || len(doc.Trace) != 2 {
+		t.Errorf("trace_total = %d with %d events, want 2/2", doc.TraceTotal, len(doc.Trace))
+	}
+}
+
+// TestDebugTelemetryNilRegistry: the handler must serve the canonical
+// empty document (not crash, not 500) when built with a nil registry.
+func TestDebugTelemetryNilRegistry(t *testing.T) {
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/debug/telemetry", nil)
+	newDebugMux(nil).ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rr.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-registry response is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"counters", "gauges", "histograms", "trace", "trace_total"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("empty document missing %q key", key)
+		}
+	}
+}

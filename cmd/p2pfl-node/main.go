@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/raft"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -35,6 +36,7 @@ func main() {
 		tickMs    = flag.Int("tick", 10, "raft tick interval in ms")
 		statePath = flag.String("state", "", "path for durable raft state; enables crash-restart rejoin")
 		snapEvery = flag.Int("snapshot", 256, "auto-compact the log after this many applied entries (0: never)")
+		debugAddr = flag.String("debug-addr", "", "host:port for the debug HTTP server (/debug/telemetry); empty disables")
 	)
 	flag.Parse()
 	if *id == 0 || *peersFlag == "" {
@@ -53,6 +55,12 @@ func main() {
 	if ticksPerT < 3 {
 		log.Fatalf("-t %dms must be at least 3 ticks (%dms)", *tMs, 3**tickMs)
 	}
+	var reg *telemetry.Registry // nil unless -debug-addr: every hook no-ops
+	if *debugAddr != "" {
+		reg = telemetry.New()
+		serveDebug(*debugAddr, reg)
+		log.Printf("telemetry at http://%s/debug/telemetry", *debugAddr)
+	}
 	cfg := raft.Config{
 		ID:                *id,
 		Peers:             ids,
@@ -60,6 +68,7 @@ func main() {
 		ElectionTickMax:   2 * ticksPerT,
 		HeartbeatTick:     maxInt(1, ticksPerT/5),
 		SnapshotThreshold: *snapEvery,
+		Telemetry:         reg,
 	}
 	var node *raft.Node
 	if *statePath != "" {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/raft"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -36,12 +37,20 @@ func main() {
 		trials   = flag.Int("trials", 100, "number of independent trials")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		scenario = flag.String("scenario", "subgroup-leader", "subgroup-leader | fedavg-leader | follower")
+		telemOut = flag.String("telemetry", "", "write the aggregate telemetry snapshot as JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
+	// One registry accumulates across all trials; its clock follows each
+	// trial's virtual sim, so a fixed -seed yields byte-identical dumps.
+	var reg *telemetry.Registry
+	if *telemOut != "" {
+		reg = telemetry.New()
+	}
+
 	var elect, rejoin []float64
 	for trial := 0; trial < *trials; trial++ {
-		e, j, err := runTrial(*scenario, *m, *n, *tMs, *latency, *seed+int64(trial))
+		e, j, err := runTrial(*scenario, *m, *n, *tMs, *latency, *seed+int64(trial), reg)
 		if err != nil {
 			log.Fatalf("trial %d: %v", trial, err)
 		}
@@ -63,10 +72,32 @@ func main() {
 	if *scenario == "follower" {
 		fmt.Println("  follower crashes are absorbed: no election, no rejoin (Sec. V-A2)")
 	}
+	if *telemOut != "" {
+		if err := writeTelemetry(*telemOut, reg); err != nil {
+			log.Fatalf("write -telemetry %s: %v", *telemOut, err)
+		}
+	}
+}
+
+// writeTelemetry dumps the registry snapshot to path ('-' = stdout).
+func writeTelemetry(path string, reg *telemetry.Registry) error {
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runTrial returns (electionMs, rejoinMs); −1 where not applicable.
-func runTrial(scenario string, m, n, tMs int, latency time.Duration, seed int64) (float64, float64, error) {
+// reg, when non-nil, accumulates telemetry across trials.
+func runTrial(scenario string, m, n, tMs int, latency time.Duration, seed int64, reg *telemetry.Registry) (float64, float64, error) {
 	sys, err := cluster.New(cluster.Options{
 		NumSubgroups:    m,
 		SubgroupSize:    n,
@@ -74,6 +105,7 @@ func runTrial(scenario string, m, n, tMs int, latency time.Duration, seed int64)
 		ElectionTickMax: 2 * tMs,
 		Latency:         simnet.Duration(latency.Microseconds()),
 		Seed:            seed,
+		Telemetry:       reg,
 	})
 	if err != nil {
 		return 0, 0, err

@@ -30,6 +30,7 @@ import (
 	"math/rand"
 
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // Target selects the system a campaign drives.
@@ -182,6 +183,13 @@ type Campaign struct {
 	// the built-in invariants. Not serialized into replay files — a test
 	// that injects a checker re-attaches it after LoadReplay.
 	ExtraCheckers []Checker `json:"-"`
+
+	// Telemetry, when non-nil, is threaded into every raft node, the
+	// two-layer cluster, and the SAC rounds the campaign runs, with its
+	// clock pinned to the campaign's virtual time — so identical seeds
+	// yield byte-identical snapshots. Like ExtraCheckers it is code, not
+	// schedule, and is not serialized into replay files.
+	Telemetry *telemetry.Registry `json:"-"`
 }
 
 func (c Campaign) normalize() Campaign {
@@ -279,14 +287,14 @@ func (v Violation) String() string {
 // which every action was a no-op proves nothing, so the counts are part
 // of the report.
 type Stats struct {
-	Crashes       int   `json:"crashes"`
-	Restarts      int   `json:"restarts"`
-	Partitions    int   `json:"partitions"`
-	NetFaults     int   `json:"net_faults"` // blackhole + loss + delay
-	Heals         int   `json:"heals"`
-	LeaderChanges int   `json:"leader_changes"`
-	Commits       int   `json:"commits"`
-	SACRounds     int   `json:"sac_rounds"`
+	Crashes        int   `json:"crashes"`
+	Restarts       int   `json:"restarts"`
+	Partitions     int   `json:"partitions"`
+	NetFaults      int   `json:"net_faults"` // blackhole + loss + delay
+	Heals          int   `json:"heals"`
+	LeaderChanges  int   `json:"leader_changes"`
+	Commits        int   `json:"commits"`
+	SACRounds      int   `json:"sac_rounds"`
 	FinalVirtualMs int64 `json:"final_virtual_ms"`
 }
 

@@ -47,8 +47,8 @@ type funcChecker struct {
 	fn   func(View) []string
 }
 
-func (c funcChecker) Name() string            { return c.name }
-func (c funcChecker) Check(v View) []string   { return c.fn(v) }
+func (c funcChecker) Name() string          { return c.name }
+func (c funcChecker) Check(v View) []string { return c.fn(v) }
 
 // NewChecker wraps a function as a named Checker.
 func NewChecker(name string, fn func(View) []string) Checker {

@@ -43,7 +43,7 @@ func oracleRound(c Campaign, rep *Report, led *ledger, rng *rand.Rand, round int
 	if n > 3 {
 		k += rng.Intn(n - 2)
 	}
-	dim := 2 + rng.Intn(3)          // small models keep campaigns fast
+	dim := 2 + rng.Intn(3) // small models keep campaigns fast
 	leader := rng.Intn(n)
 	models := make([][]float64, n)
 	for i := range models {
@@ -83,7 +83,7 @@ func oracleRound(c Campaign, rep *Report, led *ledger, rng *rand.Rand, round int
 	})
 
 	cfg := sac.Config{N: n, K: k, Leader: leader, Mode: sac.ModeLeader,
-		Rng: rand.New(rand.NewSource(rng.Int63()))}
+		Rng: rand.New(rand.NewSource(rng.Int63())), Telemetry: c.Telemetry}
 	res, err := sac.Run(mesh, cfg, models, plan)
 	now := int64(round) // oracle rounds are unclocked; index stands in for time
 

@@ -16,11 +16,11 @@ import (
 // layer formed from their leaders — subjected to the same fault schedule
 // vocabulary as the raft-kv world, with group-qualified targets.
 type twWorld struct {
-	c   Campaign
-	rep *Report
-	led *ledger
-	sys *cluster.System
-	m   int // number of subgroups; group index m addresses the FedAvg layer
+	c       Campaign
+	rep     *Report
+	led     *ledger
+	sys     *cluster.System
+	m       int // number of subgroups; group index m addresses the FedAvg layer
 	stopped bool
 }
 
@@ -34,6 +34,7 @@ func executeTwoLayer(c Campaign, actions []Action, rep *Report) {
 		HeartbeatTick:   c.HeartbeatTick,
 		Latency:         simnet.Duration(c.LatencyUs),
 		Seed:            c.Seed,
+		Telemetry:       c.Telemetry, // cluster.New pins its clock to the sim
 	})
 	if err != nil {
 		panic(fmt.Sprintf("chaos: two-layer options invalid: %v", err)) // normalize() guarantees validity
@@ -355,8 +356,9 @@ func (w *twWorld) aggregationRound(fedID uint64) {
 	}
 
 	coreSys, err := core.NewSystem(core.Config{
-		Sizes: sizes,
-		K:     []int{w.c.SubgroupSize - 1}, // k-out-of-n where sizes allow; clamped to n below that
+		Sizes:     sizes,
+		K:         []int{w.c.SubgroupSize - 1}, // k-out-of-n where sizes allow; clamped to n below that
+		Telemetry: w.c.Telemetry,
 	}, rand.New(rand.NewSource(w.c.Seed^0x7f4a7c15)))
 	if err != nil {
 		w.led.violate(now, "liveness", fmt.Sprintf("aggregation config invalid: %v", err))

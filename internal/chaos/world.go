@@ -20,13 +20,13 @@ const (
 // committed entries drive per-node kvstore replicas, plus a deterministic
 // client workload.
 type kvWorld struct {
-	c      Campaign
-	rep    *Report
-	led    *ledger
-	sim    *simnet.Sim
-	g      *simnet.Group
-	stores map[uint64]*kvstore.Store
-	incarn map[uint64]int
+	c       Campaign
+	rep     *Report
+	led     *ledger
+	sim     *simnet.Sim
+	g       *simnet.Group
+	stores  map[uint64]*kvstore.Store
+	incarn  map[uint64]int
 	propSeq int
 	// workStopped halts the client workload at quiesce (the liveness
 	// check needs a closed set of proposals to converge on); stopped
@@ -54,6 +54,7 @@ func (w *kvWorld) nodeConfig(id uint64, peers []uint64) raft.Config {
 		Rng:               w.nodeRng(id),
 		SnapshotThreshold: 64,
 		SnapshotState:     st.Snapshot,
+		Telemetry:         w.c.Telemetry,
 	}
 }
 
@@ -89,6 +90,9 @@ func newKVWorld(c Campaign, rep *Report) *kvWorld {
 		stores: make(map[uint64]*kvstore.Store),
 		incarn: make(map[uint64]int),
 	}
+	// Telemetry timestamps follow the campaign's virtual clock, keeping
+	// equal-seed snapshots byte-identical.
+	c.Telemetry.SetClock(func() int64 { return int64(w.sim.Now()) })
 	w.g = simnet.NewGroup(w.sim, "chaos", simnet.Duration(c.LatencyUs),
 		rand.New(rand.NewSource(c.Seed^0x51ed2701)))
 	peers := make([]uint64, c.Nodes)

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/raft"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // EventKind labels recovery-relevant events on the system timeline.
@@ -79,6 +80,12 @@ type Options struct {
 	// after this many applied entries, with the latest configuration
 	// carried in the snapshot. 0 uses 64; negative disables compaction.
 	SnapshotThreshold int
+
+	// Telemetry, when non-nil, is threaded into every raft node and
+	// records cluster/ev/* event counters and trace events. New installs
+	// the simulation's virtual clock on it, so identical seeds produce
+	// byte-identical snapshots.
+	Telemetry *telemetry.Registry
 
 	Seed int64
 }
@@ -219,6 +226,9 @@ func New(opts Options) (*System, error) {
 		peers:    make(map[uint64]*Peer),
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 	}
+	// Telemetry timestamps follow the virtual clock: every event in a
+	// seeded simulation happens at a reproducible virtual time.
+	opts.Telemetry.SetClock(func() int64 { return int64(s.Sim.Now()) })
 	id := uint64(1)
 	for g, size := range opts.Sizes {
 		group := simnet.NewGroup(s.Sim, fmt.Sprintf("subgroup-%d", g), opts.Latency, rand.New(rand.NewSource(opts.Seed*31+int64(g))))
@@ -237,6 +247,7 @@ func New(opts Options) (*System, error) {
 				ElectionTickMax: opts.ElectionTickMax,
 				HeartbeatTick:   opts.HeartbeatTick,
 				Rng:             rand.New(rand.NewSource(opts.Seed*1000 + int64(pid))),
+				Telemetry:       opts.Telemetry,
 			}
 			if opts.SnapshotThreshold > 0 {
 				cfg.SnapshotThreshold = opts.SnapshotThreshold
@@ -303,6 +314,8 @@ func (s *System) Events() []Event { return append([]Event(nil), s.events...) }
 
 func (s *System) record(kind EventKind, peer uint64, subgroup int) {
 	s.events = append(s.events, Event{At: s.Sim.Now(), Kind: kind, Peer: peer, Subgroup: subgroup})
+	s.opts.Telemetry.Counter("cluster/ev/" + string(kind)).Inc()
+	s.opts.Telemetry.Trace("cluster/"+string(kind), peer, subgroup)
 }
 
 // SubgroupLeader returns the current leader peer ID of subgroup g (from
@@ -371,6 +384,7 @@ func (s *System) createFedNode(p *Peer, members []uint64) error {
 				ElectionTickMax: s.opts.ElectionTickMax,
 				HeartbeatTick:   s.opts.HeartbeatTick,
 				Rng:             rand.New(rand.NewSource(s.opts.Seed*3000 + int64(p.ID))),
+				Telemetry:       s.opts.Telemetry,
 			})
 		}
 		return nil
@@ -382,6 +396,7 @@ func (s *System) createFedNode(p *Peer, members []uint64) error {
 		ElectionTickMax: s.opts.ElectionTickMax,
 		HeartbeatTick:   s.opts.HeartbeatTick,
 		Rng:             rand.New(rand.NewSource(s.opts.Seed*2000 + int64(p.ID))),
+		Telemetry:       s.opts.Telemetry,
 	})
 	if err != nil {
 		return err
@@ -594,6 +609,7 @@ func (s *System) RestartPeer(id uint64) error {
 		ElectionTickMax: s.opts.ElectionTickMax,
 		HeartbeatTick:   s.opts.HeartbeatTick,
 		Rng:             rand.New(rand.NewSource(s.opts.Seed*4000 + int64(p.ID))),
+		Telemetry:       s.opts.Telemetry,
 	}
 	if s.opts.SnapshotThreshold > 0 {
 		cfg.SnapshotThreshold = s.opts.SnapshotThreshold
@@ -643,6 +659,7 @@ func (s *System) ReviveFedNode(id uint64) error {
 		ElectionTickMax: s.opts.ElectionTickMax,
 		HeartbeatTick:   s.opts.HeartbeatTick,
 		Rng:             rand.New(rand.NewSource(s.opts.Seed*3000 + int64(p.ID))),
+		Telemetry:       s.opts.Telemetry,
 	})
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/sac"
 	"repro/internal/secretshare"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -69,6 +70,12 @@ type Config struct {
 	// employed in the higher layer"). The upper-layer cost rises from
 	// 2(m−1)·|w| to (m²−1)+(m−1) = (m²+m−2)·|w|.
 	SecureUpper bool
+	// Telemetry, when non-nil, receives round/* lifecycle metrics and is
+	// threaded into every subgroup SAC and mesh. In Parallel mode the
+	// counters stay exact (atomic and commutative) but trace-event order
+	// across subgroups follows goroutine scheduling; deterministic
+	// snapshots therefore require serial mode.
+	Telemetry *telemetry.Registry
 }
 
 // SplitPeers divides N peers into m subgroups as the paper does: N/m
@@ -149,6 +156,36 @@ type System struct {
 	cfg     Config
 	counter *transport.Counter
 	rng     *rand.Rand
+	tel     sysTel
+}
+
+// sysTel holds the system's pre-resolved round-lifecycle handles (nil
+// no-ops without a registry).
+type sysTel struct {
+	reg               *telemetry.Registry
+	roundsStarted     *telemetry.Counter
+	roundsCompleted   *telemetry.Counter
+	subgroupsOK       *telemetry.Counter
+	subgroupsExcluded *telemetry.Counter
+	sacFailed         *telemetry.Counter
+	fedavgWeight      *telemetry.Gauge
+	roundBytes        *telemetry.Histogram
+}
+
+// roundBytesBounds buckets per-round aggregation traffic in bytes.
+var roundBytesBounds = []float64{1e4, 1e5, 1e6, 1e7, 1e8}
+
+func newSysTel(reg *telemetry.Registry) sysTel {
+	return sysTel{
+		reg:               reg,
+		roundsStarted:     reg.Counter("round/started"),
+		roundsCompleted:   reg.Counter("round/completed"),
+		subgroupsOK:       reg.Counter("round/subgroups_ok"),
+		subgroupsExcluded: reg.Counter("round/subgroups_excluded"),
+		sacFailed:         reg.Counter("round/sac_failed"),
+		fedavgWeight:      reg.Gauge("round/fedavg_weight_total"),
+		roundBytes:        reg.Histogram("round/bytes", roundBytesBounds),
+	}
 }
 
 // NewSystem creates a two-layer aggregation system. rng drives share
@@ -160,7 +197,7 @@ func NewSystem(cfg Config, rng *rand.Rand) (*System, error) {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
-	return &System{cfg: cfg, counter: transport.NewCounter(), rng: rng}, nil
+	return &System{cfg: cfg, counter: transport.NewCounter(), rng: rng, tel: newSysTel(cfg.Telemetry)}, nil
 }
 
 // Config returns the system's configuration.
@@ -229,6 +266,7 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 	}
 	dim := len(models[0])
 	before := s.counter.TotalBytes()
+	s.tel.roundsStarted.Inc()
 	res := &RoundResult{SubgroupAvgs: make([][]float64, m)}
 	subCounts := make([]float64, m)
 
@@ -257,13 +295,16 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 	runSubgroup := func(g int, rng *rand.Rand) {
 		size := s.cfg.Sizes[g]
 		mesh := transport.NewMesh(size, s.counter)
+		mesh.SetTelemetry(s.cfg.Telemetry)
 		cfg := sac.Config{
 			N: size, K: s.cfg.thresholdFor(g, size), Leader: leaders[g], Mode: sac.ModeLeader,
-			Divider: s.cfg.Divider, Rng: rng,
+			Divider: s.cfg.Divider, Rng: rng, Telemetry: s.cfg.Telemetry,
 		}
 		r, err := sac.Run(mesh, cfg, models[offsets[g]:offsets[g]+size], crash[g])
 		if err == nil {
 			sacResults[g] = r
+		} else {
+			s.tel.sacFailed.Inc()
 		}
 	}
 	if s.cfg.Parallel {
@@ -299,6 +340,7 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 	if len(okSubs) == 0 {
 		return nil, ErrNoSubgroups
 	}
+	s.tel.subgroupsOK.Add(int64(len(okSubs)))
 
 	// Fraction p (slow subgroups): the FedAvg leader proceeds with a
 	// random subset of the successful subgroups.
@@ -319,6 +361,9 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 		}
 	}
 	res.Participated = participate
+	if excluded := len(okSubs) - len(participate); excluded > 0 {
+		s.tel.subgroupsExcluded.Add(int64(excluded))
+	}
 
 	// FedAvg layer: participating leaders upload their SAC averages to
 	// the FedAvg leader (the Raft-elected one when provided, otherwise
@@ -369,6 +414,17 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 	}
 
 	res.Bytes = s.counter.TotalBytes() - before
+	weightTotal := 0.0
+	for _, g := range participate {
+		weightTotal += subCounts[g]
+	}
+	s.tel.fedavgWeight.Set(weightTotal)
+	s.tel.roundBytes.Observe(float64(res.Bytes))
+	s.tel.roundsCompleted.Inc()
+	s.tel.reg.Trace("round/aggregate", uint64(fedLeader), fedLeader,
+		telemetry.F("subgroups_ok", int64(len(okSubs))),
+		telemetry.F("participated", int64(len(participate))),
+		telemetry.F("bytes", res.Bytes))
 	return res, nil
 }
 
@@ -401,9 +457,10 @@ func (s *System) secureUpperAverage(res *RoundResult, participate []int, subCoun
 		return out, nil
 	}
 	mesh := transport.NewMesh(len(participate), s.counter)
+	mesh.SetTelemetry(s.cfg.Telemetry)
 	r, err := sac.Run(mesh, sac.Config{
 		N: len(participate), K: len(participate), Leader: 0, Mode: sac.ModeLeader,
-		Divider: s.cfg.Divider, Rng: s.rng,
+		Divider: s.cfg.Divider, Rng: s.rng, Telemetry: s.cfg.Telemetry,
 	}, scaled, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: secure upper layer: %w", err)
@@ -426,7 +483,8 @@ func (s *System) BaselineAggregate(models [][]float64) (*RoundResult, error) {
 	}
 	before := s.counter.TotalBytes()
 	mesh := transport.NewMesh(n, s.counter)
-	r, err := sac.Run(mesh, sac.Config{N: n, K: n, Mode: sac.ModeBroadcast, Divider: s.cfg.Divider, Rng: s.rng}, models, nil)
+	mesh.SetTelemetry(s.cfg.Telemetry)
+	r, err := sac.Run(mesh, sac.Config{N: n, K: n, Mode: sac.ModeBroadcast, Divider: s.cfg.Divider, Rng: s.rng, Telemetry: s.cfg.Telemetry}, models, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/sac"
+	"repro/internal/telemetry"
 )
 
 // ModelFactory builds one architecture instance; each peer gets its own.
@@ -171,10 +172,14 @@ func RunTraining(cfg TrainerConfig) (*Series, error) {
 		return nil, fmt.Errorf("core: ClientFraction %v out of [0,1]", cfg.ClientFraction)
 	}
 
+	reg := cfg.Core.Telemetry
+	clientsSelected := reg.Counter("round/clients_selected")
+
 	series := &Series{}
 	losses := make([]float64, numPeers)
 	errs := make([]error, numPeers)
 	for round := 1; round <= cfg.Rounds; round++ {
+		reg.Trace("round/start", 0, -1, telemetry.F("round", int64(round)))
 		selected := selectClients(numPeers, cfg.ClientFraction, rng)
 		models := make([][]float64, numPeers)
 		counts := make([]float64, numPeers)
@@ -192,6 +197,7 @@ func RunTraining(cfg TrainerConfig) (*Series, error) {
 				models[i] = global
 			}
 		}
+		clientsSelected.Add(int64(len(selIdx)))
 
 		trainOne := func(i int) {
 			c := clients[i]
@@ -281,6 +287,10 @@ func RunTraining(cfg TrainerConfig) (*Series, error) {
 			return nil, err
 		}
 		global = res.Global
+		reg.Trace("round/end", 0, -1,
+			telemetry.F("round", int64(round)),
+			telemetry.F("clients", int64(len(selIdx))),
+			telemetry.F("bytes", res.Bytes))
 
 		if round%cfg.EvalEvery == 0 || round == cfg.Rounds {
 			if err := evalModel.SetWeightVector(global); err != nil {

@@ -15,19 +15,44 @@ import (
 	"time"
 
 	"repro/internal/raft"
+	"repro/internal/telemetry"
 )
 
 // Router delivers raft messages between live drivers. Sends are
 // non-blocking: a full inbox drops the message (Raft tolerates loss via
-// retransmission), so a slow peer cannot stall the others.
+// retransmission), so a slow peer cannot stall the others. Every drop
+// is counted — loss-on-backpressure is a designed behavior, and the
+// telemetry is what proves it actually triggers (and how often).
 type Router struct {
 	mu     sync.RWMutex
-	routes map[uint64]chan raft.Message
+	routes map[uint64]route
+
+	reg            *telemetry.Registry
+	msgsSent       *telemetry.Counter
+	msgsDropped    *telemetry.Counter
+	msgsUnroutable *telemetry.Counter
 }
 
-// NewRouter creates an empty router.
-func NewRouter() *Router {
-	return &Router{routes: make(map[uint64]chan raft.Message)}
+// route is one registered inbox plus its per-peer drop counter
+// (resolved once at registration so Send stays map-lookup-free).
+type route struct {
+	ch      chan raft.Message
+	dropped *telemetry.Counter
+}
+
+// NewRouter creates an empty router with no telemetry.
+func NewRouter() *Router { return NewRouterWith(nil) }
+
+// NewRouterWith creates an empty router recording live/router/*
+// counters into reg (nil for no instrumentation).
+func NewRouterWith(reg *telemetry.Registry) *Router {
+	return &Router{
+		routes:         make(map[uint64]route),
+		reg:            reg,
+		msgsSent:       reg.Counter("live/router/msgs_sent"),
+		msgsDropped:    reg.Counter("live/router/msgs_dropped"),
+		msgsUnroutable: reg.Counter("live/router/msgs_unroutable"),
+	}
 }
 
 // register adds a driver's inbox; unregister removes it (crash).
@@ -37,7 +62,10 @@ func (r *Router) register(id uint64, ch chan raft.Message) error {
 	if _, ok := r.routes[id]; ok {
 		return fmt.Errorf("live: node %d already registered", id)
 	}
-	r.routes[id] = ch
+	r.routes[id] = route{
+		ch:      ch,
+		dropped: r.reg.Counter(fmt.Sprintf("live/router/peer%d/msgs_dropped", id)),
+	}
 	return nil
 }
 
@@ -47,17 +75,23 @@ func (r *Router) unregister(id uint64) {
 	delete(r.routes, id)
 }
 
-// Send routes one message; unknown destinations and full inboxes drop it.
+// Send routes one message. Unknown destinations and full inboxes drop
+// it; both outcomes are counted (msgs_unroutable covers crashed or
+// never-registered peers, msgs_dropped counts backpressure loss).
 func (r *Router) Send(m raft.Message) {
 	r.mu.RLock()
-	ch, ok := r.routes[m.To]
+	rt, ok := r.routes[m.To]
 	r.mu.RUnlock()
 	if !ok {
+		r.msgsUnroutable.Inc()
 		return
 	}
 	select {
-	case ch <- m:
+	case rt.ch <- m:
+		r.msgsSent.Inc()
 	default:
+		r.msgsDropped.Inc()
+		rt.dropped.Inc()
 	}
 }
 

@@ -1,0 +1,61 @@
+package live
+
+import (
+	"testing"
+
+	"repro/internal/raft"
+	"repro/internal/telemetry"
+)
+
+// TestRouterBackpressureDrop forces the loss-on-backpressure path: a
+// registered inbox with capacity 1 receives two sends, so exactly one
+// message must be dropped and counted (globally and per peer). Until
+// this test nothing proved the silent-drop branch ever triggered.
+func TestRouterBackpressureDrop(t *testing.T) {
+	reg := telemetry.New()
+	r := NewRouterWith(reg)
+	ch := make(chan raft.Message, 1)
+	if err := r.register(7, ch); err != nil {
+		t.Fatal(err)
+	}
+
+	r.Send(raft.Message{To: 7}) // fills the inbox
+	r.Send(raft.Message{To: 7}) // must drop: nobody is draining
+
+	s := reg.Snapshot()
+	if got := s.Counters["live/router/msgs_sent"]; got != 1 {
+		t.Errorf("msgs_sent = %d, want 1", got)
+	}
+	if got := s.Counters["live/router/msgs_dropped"]; got != 1 {
+		t.Errorf("msgs_dropped = %d, want 1", got)
+	}
+	if got := s.Counters["live/router/peer7/msgs_dropped"]; got != 1 {
+		t.Errorf("peer7/msgs_dropped = %d, want 1", got)
+	}
+
+	// Unregistered destination: unroutable, not dropped.
+	r.Send(raft.Message{To: 99})
+	s = reg.Snapshot()
+	if got := s.Counters["live/router/msgs_unroutable"]; got != 1 {
+		t.Errorf("msgs_unroutable = %d, want 1", got)
+	}
+	if got := s.Counters["live/router/msgs_dropped"]; got != 1 {
+		t.Errorf("msgs_dropped after unroutable send = %d, want still 1", got)
+	}
+}
+
+// TestRouterNilTelemetry: the no-registry router must keep working
+// through every path (send, drop, unroutable).
+func TestRouterNilTelemetry(t *testing.T) {
+	r := NewRouter()
+	ch := make(chan raft.Message, 1)
+	if err := r.register(1, ch); err != nil {
+		t.Fatal(err)
+	}
+	r.Send(raft.Message{To: 1})
+	r.Send(raft.Message{To: 1}) // drop path
+	r.Send(raft.Message{To: 2}) // unroutable path
+	if len(ch) != 1 {
+		t.Fatalf("inbox len = %d, want 1", len(ch))
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"repro/internal/telemetry"
 )
 
 // State is the role of a Raft node (Fig. 2 of the paper).
@@ -194,6 +196,11 @@ type Config struct {
 	// stored in the snapshot (nil data otherwise).
 	SnapshotThreshold int
 	SnapshotState     func() []byte
+
+	// Telemetry, when non-nil, receives raft/* counters and trace
+	// events. Message counts are batched into Ready() so the tick/step
+	// hot path stays free of per-message atomics.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) validate() error {
@@ -265,8 +272,38 @@ type Node struct {
 
 	cfg Config
 	rng *rand.Rand
+	tel nodeTel
 
 	msgs []Message
+}
+
+// nodeTel holds the node's pre-resolved metric handles. With no
+// registry configured every handle is nil and updates are no-ops, so
+// call sites stay unconditional.
+type nodeTel struct {
+	reg                *telemetry.Registry
+	electionsStarted   *telemetry.Counter
+	electionsWon       *telemetry.Counter
+	termsAdvanced      *telemetry.Counter
+	entriesAppended    *telemetry.Counter
+	entriesCommitted   *telemetry.Counter
+	snapshotsTaken     *telemetry.Counter
+	snapshotsInstalled *telemetry.Counter
+	msgsSent           *telemetry.Counter
+}
+
+func newNodeTel(reg *telemetry.Registry) nodeTel {
+	return nodeTel{
+		reg:                reg,
+		electionsStarted:   reg.Counter("raft/elections_started"),
+		electionsWon:       reg.Counter("raft/elections_won"),
+		termsAdvanced:      reg.Counter("raft/terms_advanced"),
+		entriesAppended:    reg.Counter("raft/entries_appended"),
+		entriesCommitted:   reg.Counter("raft/entries_committed"),
+		snapshotsTaken:     reg.Counter("raft/snapshots_taken"),
+		snapshotsInstalled: reg.Counter("raft/snapshots_installed"),
+		msgsSent:           reg.Counter("raft/msgs_sent"),
+	}
 }
 
 // NewNode creates a node from cfg.
@@ -288,6 +325,7 @@ func NewNode(cfg Config) (*Node, error) {
 		matchIndex: make(map[uint64]uint64),
 		cfg:        cfg,
 		rng:        rng,
+		tel:        newNodeTel(cfg.Telemetry),
 	}
 	for _, p := range cfg.Peers {
 		if p == None {
@@ -387,6 +425,9 @@ func (n *Node) campaign() {
 	n.leader = None
 	n.votes = map[uint64]bool{n.id: true}
 	n.resetElectionTimeout()
+	n.tel.electionsStarted.Inc()
+	n.tel.termsAdvanced.Inc()
+	n.tel.reg.Trace("raft/election_started", n.id, -1, telemetry.F("term", int64(n.term)))
 	if len(n.votes) >= n.quorum() {
 		// Single-node cluster.
 		n.becomeLeader()
@@ -415,6 +456,7 @@ func (n *Node) becomeFollower(term, leader uint64) {
 	if term > n.term {
 		n.term = term
 		n.votedFor = None
+		n.tel.termsAdvanced.Inc()
 	}
 	n.leader = leader
 	n.votes = nil
@@ -432,6 +474,8 @@ func (n *Node) becomeLeader() {
 		n.matchIndex[p] = 0
 	}
 	n.matchIndex[n.id] = n.lastIndex()
+	n.tel.electionsWon.Inc()
+	n.tel.reg.Trace("raft/leader_elected", n.id, -1, telemetry.F("term", int64(n.term)))
 	// Append a no-op so entries from previous terms commit (Sec. 5.4.2 of
 	// the Raft paper; Sec. III-C3 of the reproduced paper).
 	n.appendEntry(Entry{Type: EntryNoop})
@@ -442,6 +486,7 @@ func (n *Node) appendEntry(e Entry) {
 	e.Index = n.lastIndex() + 1
 	e.Term = n.term
 	n.log = append(n.log, e)
+	n.tel.entriesAppended.Inc()
 	n.matchIndex[n.id] = n.lastIndex()
 	n.maybeCommit()
 }
@@ -608,6 +653,7 @@ func (n *Node) handleAppend(m Message) {
 		return
 	}
 	// Append, truncating conflicts (same index, different term).
+	appended := int64(0)
 	for _, e := range m.Entries {
 		switch {
 		case e.Index <= n.snapIndex:
@@ -618,9 +664,14 @@ func (n *Node) handleAppend(m Message) {
 			// Conflict: truncate and append.
 			n.log = n.log[:e.Index-n.snapIndex-1]
 			n.log = append(n.log, e)
+			appended++
 		default:
 			n.log = append(n.log, e)
+			appended++
 		}
+	}
+	if appended > 0 {
+		n.tel.entriesAppended.Add(appended)
 	}
 	// Advance commit index.
 	last := m.PrevLogIndex + uint64(len(m.Entries))
@@ -695,6 +746,8 @@ func (n *Node) handleSnapshot(m Message) {
 	for _, p := range snap.Peers {
 		n.peers[p] = true
 	}
+	n.tel.snapshotsInstalled.Inc()
+	n.tel.reg.Trace("raft/snapshot_installed", n.id, -1, telemetry.F("index", int64(snap.Index)))
 	n.send(Message{Type: MsgAppendResponse, To: m.From, Term: n.term, Match: snap.Index})
 }
 
@@ -715,6 +768,7 @@ func (n *Node) Compact(index uint64, data []byte) error {
 	n.log = tail
 	n.snapIndex, n.snapTerm = index, term
 	n.snapshot = &Snapshot{Index: index, Term: term, Peers: n.Members(), Data: append([]byte(nil), data...)}
+	n.tel.snapshotsTaken.Inc()
 	return nil
 }
 
@@ -771,6 +825,9 @@ func (n *Node) Ready() Ready {
 	rd := Ready{State: n.state, Term: n.term, Leader: n.leader}
 	rd.Messages = n.msgs
 	n.msgs = nil
+	if len(rd.Messages) > 0 {
+		n.tel.msgsSent.Add(int64(len(rd.Messages)))
+	}
 	if n.pendingSnap != nil {
 		rd.InstalledSnapshot = n.pendingSnap
 		n.pendingSnap = nil
@@ -784,6 +841,9 @@ func (n *Node) Ready() Ready {
 			}
 		}
 		rd.Committed = append(rd.Committed, e)
+	}
+	if len(rd.Committed) > 0 {
+		n.tel.entriesCommitted.Add(int64(len(rd.Committed)))
 	}
 	return rd
 }

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/secretshare"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -85,6 +86,9 @@ type Config struct {
 	Divider secretshare.Divider
 	// Rng drives share randomness; nil seeds a default source.
 	Rng *rand.Rand
+	// Telemetry, when non-nil, receives sac/* counters, per-phase
+	// duration histograms, and one trace event per aggregation.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) validate() error {
@@ -143,8 +147,57 @@ func Run(mesh transport.Network, cfg Config, models [][]float64, crash CrashPlan
 		rng = rand.New(rand.NewSource(1))
 	}
 
-	e := &engine{mesh: mesh, cfg: cfg, dim: dim, div: div, rng: rng, crash: crash}
-	return e.run(models)
+	e := &engine{mesh: mesh, cfg: cfg, dim: dim, div: div, rng: rng, crash: crash, tel: newSACTel(cfg.Telemetry)}
+	e.tel.roundsStarted.Inc()
+	res, err := e.run(models)
+	if err != nil {
+		e.tel.roundsFailed.Inc()
+		return nil, err
+	}
+	e.tel.roundsOK.Inc()
+	e.tel.reg.Trace("sac/round", uint64(cfg.Leader), -1,
+		telemetry.F("n", int64(cfg.N)),
+		telemetry.F("k", int64(cfg.K)),
+		telemetry.F("contributors", int64(len(res.Contributors))),
+		telemetry.F("recovered", int64(len(res.Recovered))))
+	return res, nil
+}
+
+// sacTel holds the engine's pre-resolved metric handles (all nil, hence
+// no-ops, when no registry is configured).
+type sacTel struct {
+	reg                *telemetry.Registry
+	roundsStarted      *telemetry.Counter
+	roundsOK           *telemetry.Counter
+	roundsFailed       *telemetry.Counter
+	sharesSent         *telemetry.Counter
+	subtotalsSent      *telemetry.Counter
+	subtotalsRecovered *telemetry.Counter
+	peersCrashed       *telemetry.Counter
+	msgsInvalid        *telemetry.Counter
+	phaseShare         *telemetry.Histogram
+	phaseSubtotal      *telemetry.Histogram
+	phaseFinish        *telemetry.Histogram
+}
+
+// phaseBoundsUs buckets per-phase durations in microseconds.
+var phaseBoundsUs = []float64{100, 1_000, 10_000, 100_000, 1_000_000}
+
+func newSACTel(reg *telemetry.Registry) sacTel {
+	return sacTel{
+		reg:                reg,
+		roundsStarted:      reg.Counter("sac/rounds_started"),
+		roundsOK:           reg.Counter("sac/rounds_ok"),
+		roundsFailed:       reg.Counter("sac/rounds_failed"),
+		sharesSent:         reg.Counter("sac/shares_sent"),
+		subtotalsSent:      reg.Counter("sac/subtotals_sent"),
+		subtotalsRecovered: reg.Counter("sac/subtotals_recovered"),
+		peersCrashed:       reg.Counter("sac/peers_crashed"),
+		msgsInvalid:        reg.Counter("sac/msgs_invalid"),
+		phaseShare:         reg.Histogram("sac/phase_share_us", phaseBoundsUs),
+		phaseSubtotal:      reg.Histogram("sac/phase_subtotal_us", phaseBoundsUs),
+		phaseFinish:        reg.Histogram("sac/phase_finish_us", phaseBoundsUs),
+	}
 }
 
 type engine struct {
@@ -154,6 +207,7 @@ type engine struct {
 	div   secretshare.Divider
 	rng   *rand.Rand
 	crash CrashPlan
+	tel   sacTel
 
 	contributors []int
 	// subtotals[peer][shareIdx] — computed by peers holding shareIdx.
@@ -167,6 +221,7 @@ func (e *engine) crashAt(peer int, phase Phase) bool {
 
 func (e *engine) run(models [][]float64) (*Result, error) {
 	n, k := e.cfg.N, e.cfg.K
+	t0 := e.tel.reg.Now()
 
 	// Phase 1 — share exchange (Alg. 2 lines 2–5 / Alg. 4 lines 2–10).
 	// received[j][shareIdx][contributor] = share vector.
@@ -174,6 +229,7 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 	for j := 0; j < n; j++ {
 		received[j] = make(map[int]map[int][]float64)
 	}
+	var sharesSent int64 // batched into one atomic Add below
 	for i := 0; i < n; i++ {
 		if !e.mesh.Alive(i) {
 			continue
@@ -182,6 +238,7 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 			if err := e.mesh.Crash(i); err != nil {
 				return nil, err
 			}
+			e.tel.peersCrashed.Inc()
 			continue
 		}
 		shares, err := e.div.Divide(models[i], n, e.rng)
@@ -204,8 +261,12 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 				if err := e.mesh.Send(msg); err != nil {
 					return nil, err
 				}
+				sharesSent++
 			}
 		}
+	}
+	if sharesSent > 0 {
+		e.tel.sharesSent.Add(sharesSent)
 	}
 	if len(e.contributors) == 0 {
 		return nil, ErrInsufficientPeers
@@ -227,9 +288,13 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 		for _, m := range msgs {
 			if e.validShare(m) {
 				e.store(received, j, m.ShareIdx, m.From, m.Payload)
+			} else {
+				e.tel.msgsInvalid.Inc()
 			}
 		}
 	}
+	t1 := e.tel.reg.Now()
+	e.tel.phaseShare.Observe(float64(t1 - t0))
 
 	// Alg. 2 semantics: with K = N any pre-share crash leaves the other
 	// peers missing a partition, so the aggregation aborts.
@@ -249,6 +314,7 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 			if err := e.mesh.Crash(j); err != nil {
 				return nil, err
 			}
+			e.tel.peersCrashed.Inc()
 			continue
 		}
 		e.subtotals[j] = make(map[int][]float64)
@@ -272,12 +338,18 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 	}
 
 	// Phase 3 — subtotal exchange.
+	t2 := e.tel.reg.Now()
+	e.tel.phaseSubtotal.Observe(float64(t2 - t1))
+	var res *Result
+	var err error
 	switch e.cfg.Mode {
 	case ModeBroadcast:
-		return e.finishBroadcast()
+		res, err = e.finishBroadcast()
 	default:
-		return e.finishLeader()
+		res, err = e.finishLeader()
 	}
+	e.tel.phaseFinish.Observe(float64(e.tel.reg.Now() - t2))
+	return res, err
 }
 
 // validShare reports whether m is a well-formed share message for this
@@ -329,6 +401,7 @@ func (e *engine) finishBroadcast() (*Result, error) {
 			if err := e.mesh.Send(msg); err != nil {
 				return nil, err
 			}
+			e.tel.subtotalsSent.Inc()
 		}
 	}
 	// Every alive peer must now hold all N subtotals.
@@ -347,6 +420,8 @@ func (e *engine) finishBroadcast() (*Result, error) {
 		for _, m := range msgs {
 			if e.validSubtotal(m) {
 				got[m.ShareIdx] = m.Payload
+			} else {
+				e.tel.msgsInvalid.Inc()
 			}
 		}
 		if len(got) != n {
@@ -386,6 +461,7 @@ func (e *engine) finishLeader() (*Result, error) {
 				if err := e.mesh.Send(msg); err != nil {
 					return nil, err
 				}
+				e.tel.subtotalsSent.Inc()
 				have[s] = sub
 				continue
 			}
@@ -425,6 +501,9 @@ func (e *engine) finishLeader() (*Result, error) {
 	// Drain the leader's inbox for completeness of the mesh bookkeeping.
 	if _, err := e.mesh.Drain(leader); err != nil {
 		return nil, err
+	}
+	if len(recovered) > 0 {
+		e.tel.subtotalsRecovered.Add(int64(len(recovered)))
 	}
 	return &Result{Avg: e.average(have), Contributors: e.contributors, Recovered: recovered}, nil
 }

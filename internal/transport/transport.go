@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Message is one protocol message between peers. Payload is a flat vector
@@ -137,6 +139,44 @@ type Mesh struct {
 	crashed  []bool
 	counter  *Counter
 	observer func(Message)
+	tel      meshTel
+}
+
+// meshTel holds the mesh's pre-resolved telemetry handles: aggregate
+// send/receive/drop counters plus per-sender message and byte counts.
+// All handles are nil (no-op) until SetTelemetry installs a registry.
+type meshTel struct {
+	msgsSent     *telemetry.Counter
+	bytesSent    *telemetry.Counter
+	msgsReceived *telemetry.Counter
+	msgsDropped  *telemetry.Counter
+	peerMsgs     []*telemetry.Counter // indexed by sender
+	peerBytes    []*telemetry.Counter
+}
+
+// SetTelemetry wires the mesh into a registry, resolving aggregate
+// transport/* counters and per-peer transport/peer<i>/* counters once
+// up front. A nil registry resets the mesh to no-op instrumentation.
+func (m *Mesh) SetTelemetry(reg *telemetry.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if reg == nil {
+		m.tel = meshTel{}
+		return
+	}
+	t := meshTel{
+		msgsSent:     reg.Counter("transport/msgs_sent"),
+		bytesSent:    reg.Counter("transport/bytes_sent"),
+		msgsReceived: reg.Counter("transport/msgs_received"),
+		msgsDropped:  reg.Counter("transport/msgs_dropped"),
+		peerMsgs:     make([]*telemetry.Counter, m.n),
+		peerBytes:    make([]*telemetry.Counter, m.n),
+	}
+	for i := 0; i < m.n; i++ {
+		t.peerMsgs[i] = reg.Counter(fmt.Sprintf("transport/peer%d/msgs_sent", i))
+		t.peerBytes[i] = reg.Counter(fmt.Sprintf("transport/peer%d/bytes_sent", i))
+	}
+	m.tel = t
 }
 
 // NewMesh creates a mesh of n peers recording traffic into counter
@@ -179,6 +219,9 @@ func (m *Mesh) Crash(peer int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.crashed[peer] = true
+	if q := len(m.inboxes[peer]); q > 0 {
+		m.tel.msgsDropped.Add(int64(q))
+	}
 	m.inboxes[peer] = nil
 	return nil
 }
@@ -222,10 +265,17 @@ func (m *Mesh) Send(msg Message) error {
 		return fmt.Errorf("transport: %w: peer %d", ErrCrashed, msg.From)
 	}
 	m.counter.Record(msg.Kind, msg.WireBytes())
+	m.tel.msgsSent.Inc()
+	m.tel.bytesSent.Add(msg.WireBytes())
+	if m.tel.peerMsgs != nil {
+		m.tel.peerMsgs[msg.From].Inc()
+		m.tel.peerBytes[msg.From].Add(msg.WireBytes())
+	}
 	if m.observer != nil {
 		m.observer(msg)
 	}
 	if m.crashed[msg.To] {
+		m.tel.msgsDropped.Inc()
 		return nil
 	}
 	m.inboxes[msg.To] = append(m.inboxes[msg.To], msg)
@@ -241,6 +291,9 @@ func (m *Mesh) Drain(peer int) ([]Message, error) {
 	defer m.mu.Unlock()
 	out := m.inboxes[peer]
 	m.inboxes[peer] = nil
+	if len(out) > 0 {
+		m.tel.msgsReceived.Add(int64(len(out)))
+	}
 	return out, nil
 }
 
