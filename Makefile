@@ -6,11 +6,11 @@ GO ?= go
 # as BENCH_<n>.json; `make bench-check` fails on a >20% ns/op
 # regression vs the latest snapshot, or on an instrumented/nil
 # telemetry pair exceeding its same-run 5% overhead budget.
-BENCH_PATTERN := 'BenchmarkMatMul|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkPaperCNNTrainStep|BenchmarkClientTrainRound|BenchmarkRound15Peers|BenchmarkAggregate|BenchmarkRaftTick|BenchmarkSACRound'
+BENCH_PATTERN := 'BenchmarkMatMul|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkPaperCNNTrainStep|BenchmarkClientTrainRound|BenchmarkRound15Peers|BenchmarkAggregate|BenchmarkRaftTick|BenchmarkSACRound|BenchmarkRaftTCPSend'
 BENCH_ARGS := -run '^$$' -bench $(BENCH_PATTERN) -benchmem -benchtime 10x ./...
-TELEMETRY_PAIRS := 'RaftTickLive=RaftTickNil,SACRoundLive=SACRoundNil'
+TELEMETRY_PAIRS := 'RaftTickLive=RaftTickNil,SACRoundLive=SACRoundNil,RaftTCPSendHealthyPeerAsync=RaftTCPSendHealthyPeerSync'
 
-.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry
+.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry test-health
 
 all: check
 
@@ -28,10 +28,11 @@ race:
 
 # 30-second deterministic chaos sweep. The start seed is pinned so CI
 # failures reproduce locally: any red seed reruns exactly with
-#   go run ./cmd/p2pfl-chaos -seed <seed>
+#   go run ./cmd/p2pfl-chaos -seed <seed> [-target two-layer -mix flap -detector]
 chaos-smoke:
 	$(GO) run ./cmd/p2pfl-chaos -seed 1 -soak 30s
 	$(GO) run ./cmd/p2pfl-chaos -seed 1 -target two-layer -steps 12
+	$(GO) run ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix flap -detector -steps 12
 
 bench:
 	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -write
@@ -47,5 +48,13 @@ test-telemetry:
 	$(GO) test -race -run 'Telemetry' \
 		./internal/transport/ ./internal/live/ ./internal/cluster/ \
 		./internal/chaos/ ./cmd/p2pfl-sim/
+
+# Self-healing suite under -race: the failure detector, the resilient
+# transport (circuit breakers, head-of-line regression), and the
+# cluster/chaos recovery paths that consume their verdicts.
+test-health:
+	$(GO) test -race ./internal/health/ ./internal/transport/
+	$(GO) test -race -run 'Detector|AutoFedRevive|Degraded|Flapping|HeadOfLine' \
+		./internal/cluster/ ./internal/chaos/ ./internal/core/
 
 check: vet build test race chaos-smoke

@@ -5,6 +5,10 @@
 //	p2pfl-chaos -seed 42                       one mixed campaign, raft-kv target
 //	p2pfl-chaos -seed 7 -mix crash -steps 40   crash-heavy campaign
 //	p2pfl-chaos -target two-layer -m 3 -n 3    two-layer cluster campaign
+//	p2pfl-chaos -target two-layer -mix flap -detector
+//	                                           flapping links + failure-detector
+//	                                           invariants (false-Down accuracy,
+//	                                           bounded re-convergence)
 //	p2pfl-chaos -soak 30s                      seed sweep until the wall clock runs out
 //	p2pfl-chaos -seed 9 -out fail.json         dump a replay file for the run
 //	p2pfl-chaos -replay fail.json              re-execute a dumped schedule exactly
@@ -30,8 +34,9 @@ func main() {
 	var (
 		seed    = flag.Int64("seed", 1, "campaign seed (ignored with -replay)")
 		steps   = flag.Int("steps", 24, "number of fault actions in the schedule")
-		mix     = flag.String("mix", "mixed", "fault mix: mixed | crash | partition")
+		mix     = flag.String("mix", "mixed", "fault mix: mixed | crash | partition | flap")
 		target  = flag.String("target", "raft-kv", "system under test: raft-kv | two-layer")
+		detect  = flag.Bool("detector", false, "enable the failure detector and its invariant checkers (two-layer target)")
 		nodes   = flag.Int("nodes", 5, "raft group size (raft-kv target)")
 		m       = flag.Int("m", 3, "number of subgroups (two-layer target)")
 		n       = flag.Int("n", 3, "peers per subgroup (two-layer target)")
@@ -58,6 +63,7 @@ func main() {
 	}
 
 	base := campaign(*seed, *steps, *mix, *target, *nodes, *m, *n)
+	base.Detector = *detect
 	if *soak <= 0 {
 		runOne(base, *out, *dump, *budget, true)
 		return
@@ -86,8 +92,10 @@ func campaign(seed int64, steps int, mix, target string, nodes, m, n int) chaos.
 		c.Mix = chaos.CrashHeavyMix
 	case "partition":
 		c.Mix = chaos.PartitionHeavyMix
+	case "flap":
+		c.Mix = chaos.FlappingMix
 	default:
-		log.Fatalf("unknown mix %q (want mixed | crash | partition)", mix)
+		log.Fatalf("unknown mix %q (want mixed | crash | partition | flap)", mix)
 	}
 	switch target {
 	case "raft-kv":
@@ -132,9 +140,9 @@ func printReport(rep *chaos.Report, showViolations bool) {
 	if !rep.Passed() {
 		verdict = "FAIL"
 	}
-	fmt.Printf("seed %-6d %s  %s: %d crashes, %d restarts, %d partitions, %d net faults, %d leader changes, %d commits, %d SAC rounds, %d virtual ms\n",
+	fmt.Printf("seed %-6d %s  %s: %d crashes, %d restarts, %d partitions, %d net faults, %d flaps, %d leader changes, %d commits, %d SAC rounds, %d virtual ms\n",
 		rep.Campaign.Seed, string(rep.Campaign.Target), verdict,
-		s.Crashes, s.Restarts, s.Partitions, s.NetFaults, s.LeaderChanges, s.Commits, s.SACRounds, s.FinalVirtualMs)
+		s.Crashes, s.Restarts, s.Partitions, s.NetFaults, s.Flaps, s.LeaderChanges, s.Commits, s.SACRounds, s.FinalVirtualMs)
 	if showViolations {
 		for _, v := range rep.Violations {
 			fmt.Printf("  %s\n", v)

@@ -1,19 +1,33 @@
 package main
 
 import (
+	"encoding/json"
 	"log"
 	"net/http"
 
+	"repro/internal/health"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
+
+// healthView is the JSON document served by /debug/health: this node's
+// failure-detector verdicts about its peers plus the transport's
+// per-peer circuit states.
+type healthView struct {
+	Node     uint64                  `json:"node"`
+	Detector []health.PeerStatus     `json:"detector"`
+	Circuits []transport.PeerCircuit `json:"circuits"`
+}
 
 // newDebugMux builds the node's debug HTTP surface. /debug/telemetry
 // serves the registry's JSON snapshot — counters, gauges, histograms
-// and the recent trace ring — so an operator can watch a live node
-// without attaching a debugger:
+// and the recent trace ring; /debug/health serves the failure
+// detector's current verdicts and the transport circuit breakers — so
+// an operator can watch a live node without attaching a debugger:
 //
 //	curl -s http://127.0.0.1:6060/debug/telemetry | jq .counters
-func newDebugMux(reg *telemetry.Registry) *http.ServeMux {
+//	curl -s http://127.0.0.1:6060/debug/health
+func newDebugMux(reg *telemetry.Registry, id uint64, det *health.Detector, tr *transport.RaftTCP) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -21,14 +35,31 @@ func newDebugMux(reg *telemetry.Registry) *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
+		v := healthView{Node: id, Detector: []health.PeerStatus{}, Circuits: []transport.PeerCircuit{}}
+		if det != nil {
+			v.Detector = det.Snapshot()
+		}
+		if tr != nil {
+			v.Circuits = tr.PeerStates()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		data = append(data, '\n')
+		_, _ = w.Write(data)
+	})
 	return mux
 }
 
 // serveDebug starts the debug listener in the background; failures are
 // logged, not fatal — telemetry must never take the node down.
-func serveDebug(addr string, reg *telemetry.Registry) {
+func serveDebug(addr string, reg *telemetry.Registry, id uint64, det *health.Detector, tr *transport.RaftTCP) {
 	go func() {
-		if err := http.ListenAndServe(addr, newDebugMux(reg)); err != nil {
+		if err := http.ListenAndServe(addr, newDebugMux(reg, id, det, tr)); err != nil {
 			log.Printf("debug server on %s: %v", addr, err)
 		}
 	}()

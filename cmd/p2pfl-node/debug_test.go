@@ -10,7 +10,9 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/health"
 	"repro/internal/telemetry"
+	"repro/internal/transport"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
@@ -38,7 +40,7 @@ func populatedRegistry() *telemetry.Registry {
 // exposition contract external scrapers depend on — fails this test
 // until the golden is regenerated with -update.
 func TestDebugTelemetryGolden(t *testing.T) {
-	srv := httptest.NewServer(newDebugMux(populatedRegistry()))
+	srv := httptest.NewServer(newDebugMux(populatedRegistry(), 1, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/telemetry")
@@ -104,12 +106,97 @@ func TestDebugTelemetryGolden(t *testing.T) {
 	}
 }
 
+// TestDebugHealthEndpoint: /debug/health reports the failure detector's
+// verdicts and the transport's circuit states as one JSON document.
+func TestDebugHealthEndpoint(t *testing.T) {
+	now := int64(0)
+	det, err := health.New([]uint64{2, 3}, health.Options{
+		TickIntervalUs: 1000,
+		Clock:          func() int64 { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := transport.NewRaftTCP(1, map[uint64]string{1: "127.0.0.1:0", 2: "127.0.0.1:1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Leave peer 3 silent past the Down threshold so the document shows
+	// a non-trivial verdict.
+	det.Observe(2)
+	now = 5000
+	det.Observe(2)
+	det.Tick()
+
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/debug/health", nil)
+	newDebugMux(nil, 1, det, tr).ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rr.Code)
+	}
+	var doc struct {
+		Node     uint64 `json:"node"`
+		Detector []struct {
+			Peer            uint64 `json:"peer"`
+			State           string `json:"state"`
+			Watched         bool   `json:"watched"`
+			SinceActivityUs int64  `json:"since_activity_us"`
+		} `json:"detector"`
+		Circuits []struct {
+			Peer  uint64 `json:"peer"`
+			State string `json:"state"`
+		} `json:"circuits"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("response is not valid JSON: %v\n%s", err, rr.Body.Bytes())
+	}
+	if doc.Node != 1 {
+		t.Errorf("node = %d, want 1", doc.Node)
+	}
+	if len(doc.Detector) != 2 {
+		t.Fatalf("detector entries = %d, want 2", len(doc.Detector))
+	}
+	if doc.Detector[0].Peer != 2 || doc.Detector[0].State != "up" {
+		t.Errorf("peer 2 status = %+v, want up", doc.Detector[0])
+	}
+	if doc.Detector[1].Peer != 3 || doc.Detector[1].State != "down" {
+		t.Errorf("peer 3 status = %+v, want down", doc.Detector[1])
+	}
+	// No sends yet, so no per-peer senders have spun up — the circuit
+	// list is present but empty.
+	if doc.Circuits == nil {
+		t.Error("circuits key missing from document")
+	}
+}
+
+// TestDebugHealthNilDetector: with no detector or transport wired the
+// endpoint still serves a valid empty document.
+func TestDebugHealthNilDetector(t *testing.T) {
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/debug/health", nil)
+	newDebugMux(nil, 7, nil, nil).ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rr.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("response is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"node", "detector", "circuits"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("document missing %q key", key)
+		}
+	}
+}
+
 // TestDebugTelemetryNilRegistry: the handler must serve the canonical
 // empty document (not crash, not 500) when built with a nil registry.
 func TestDebugTelemetryNilRegistry(t *testing.T) {
 	rr := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodGet, "/debug/telemetry", nil)
-	newDebugMux(nil).ServeHTTP(rr, req)
+	newDebugMux(nil, 1, nil, nil).ServeHTTP(rr, req)
 	if rr.Code != http.StatusOK {
 		t.Fatalf("status = %d, want 200", rr.Code)
 	}

@@ -10,7 +10,11 @@
 // stdin are proposed to the replicated log when this node is the leader
 // (in the aggregation system these entries carry the FedAvg-layer
 // configuration, Sec. V-A1). Kill the leader process and watch the
-// remaining peers elect a replacement within ~2·T milliseconds.
+// remaining peers elect a replacement — the built-in failure detector
+// (internal/health) declares the silent leader Down after a few missed
+// heartbeats and campaigns immediately instead of waiting out the full
+// U(T, 2T) timeout. With -debug-addr set, /debug/health serves the
+// detector's verdicts and the transport's per-peer circuit states.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/raft"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -58,8 +63,6 @@ func main() {
 	var reg *telemetry.Registry // nil unless -debug-addr: every hook no-ops
 	if *debugAddr != "" {
 		reg = telemetry.New()
-		serveDebug(*debugAddr, reg)
-		log.Printf("telemetry at http://%s/debug/telemetry", *debugAddr)
 	}
 	cfg := raft.Config{
 		ID:                *id,
@@ -95,7 +98,46 @@ func main() {
 		log.Fatal(err)
 	}
 	defer tr.Close()
+	tr.SetTelemetry(reg)
 	log.Printf("node %d listening on %s (T=%dms, tick=%dms)", *id, tr.Addr(), *tMs, *tickMs)
+
+	// Failure detector over the co-peers, driven by the same wall clock
+	// as live telemetry and fed by transport activity. Its silence
+	// thresholds derive from the heartbeat interval: Suspect after 2
+	// missed heartbeats, Down after 3.
+	var others []uint64
+	for _, pid := range ids {
+		if pid != *id {
+			others = append(others, pid)
+		}
+	}
+	det, err := health.New(others, health.Options{
+		TickIntervalUs: int64(cfg.HeartbeatTick) * int64(*tickMs) * 1000,
+		Clock:          telemetry.WallClock,
+		Telemetry:      reg,
+		Owner:          *id,
+		OnTransition: func(ht health.Transition) {
+			log.Printf("health: peer %d %s -> %s (silent %dms)", ht.Peer, ht.From, ht.To, ht.SinceActivityUs/1000)
+			// Down verdicts are only emitted from det.Tick, which runs on
+			// the main loop goroutine, so touching the node here is safe.
+			if ht.To == health.Down && node.Leader() == ht.Peer && node.State() != raft.Leader {
+				log.Printf("health: leader %d is down, campaigning now", ht.Peer)
+				node.Campaign()
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Before a first leader is known there is no one whose silence would
+	// be meaningful; watch sets follow role changes below.
+	det.SetWatch(nil)
+	tr.SetActivityFunc(det.Observe)
+
+	if *debugAddr != "" {
+		serveDebug(*debugAddr, reg, *id, det, tr)
+		log.Printf("telemetry at http://%s/debug/telemetry, health at http://%s/debug/health", *debugAddr, *debugAddr)
+	}
 
 	proposeCh := make(chan string, 16)
 	go func() {
@@ -114,6 +156,7 @@ func main() {
 		select {
 		case <-ticker.C:
 			node.Tick()
+			det.Tick()
 		case m := <-tr.Recv():
 			if err := node.Step(m); err != nil {
 				log.Printf("step: %v", err)
@@ -151,7 +194,29 @@ func main() {
 		if rd.State != lastState || rd.Leader != lastLeader {
 			log.Printf("state=%s term=%d leader=%d", rd.State, rd.Term, rd.Leader)
 			lastState, lastLeader = rd.State, rd.Leader
+			// Watch sets follow Raft's traffic asymmetry: a leader hears
+			// from everyone (AppendResponses), a follower only from its
+			// leader, a candidate from no one in particular.
+			det.SetWatch(watchSet(rd.State, *id, rd.Leader, ids))
 		}
+	}
+}
+
+// watchSet picks which peers' silence is meaningful for the given role.
+func watchSet(st raft.State, self, leader uint64, ids []uint64) []uint64 {
+	switch {
+	case st == raft.Leader:
+		var others []uint64
+		for _, pid := range ids {
+			if pid != self {
+				others = append(others, pid)
+			}
+		}
+		return others
+	case leader != raft.None && leader != self:
+		return []uint64{leader}
+	default:
+		return nil
 	}
 }
 

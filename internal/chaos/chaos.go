@@ -16,6 +16,12 @@
 //	                        another peer's model (k ≥ 2)
 //	Liveness                after the schedule quiesces, a leader emerges
 //	                        and a round/entry commits within a bound
+//	Health accuracy         no failure detector declares a peer Down
+//	                        whose messages were delivered within the
+//	                        silence threshold (Campaign.Detector)
+//	Health re-convergence   after the last fault lifts, every live
+//	                        detector returns to all-Up verdicts about
+//	                        live peers within a bound
 //
 // Everything is derived from Campaign.Seed through dedicated rand
 // streams and runs on one goroutine under virtual time, so the same seed
@@ -70,6 +76,12 @@ const (
 	// ActHeal removes all network faults (partitions, black-holes, loss,
 	// delay). Crashed nodes stay crashed until ActRestart.
 	ActHeal ActionKind = "heal"
+	// ActFlap flaps one node's outbound links: its messages are black-
+	// holed and released in several short cycles. Flapping is the
+	// sharpest test of a failure detector — each dark window can exceed
+	// the silence threshold (a true Down), and each recovery must be
+	// observed as such, never condemned retroactively.
+	ActFlap ActionKind = "flap"
 )
 
 // Action is one scheduled fault. Node-targeting actions carry a rank, not
@@ -109,6 +121,7 @@ type FaultMix struct {
 	Loss       int `json:"loss"`
 	Delay      int `json:"delay"`
 	Heal       int `json:"heal"`
+	Flap       int `json:"flap,omitempty"`
 }
 
 // DefaultMix is a balanced fault mix.
@@ -120,8 +133,12 @@ var CrashHeavyMix = FaultMix{Crash: 5, Restart: 5, LeaderKill: 3, Heal: 1}
 // PartitionHeavyMix emphasizes network faults.
 var PartitionHeavyMix = FaultMix{Partition: 5, Blackhole: 2, Loss: 2, Delay: 2, Heal: 4, Crash: 1, Restart: 1}
 
+// FlappingMix emphasizes flapping links, slow peers and leader kill
+// storms — the failure-detector stress profile.
+var FlappingMix = FaultMix{Flap: 5, Delay: 3, LeaderKill: 3, Loss: 2, Heal: 2, Crash: 1, Restart: 2}
+
 func (m FaultMix) total() int {
-	return m.Crash + m.Restart + m.LeaderKill + m.Partition + m.Blackhole + m.Loss + m.Delay + m.Heal
+	return m.Crash + m.Restart + m.LeaderKill + m.Partition + m.Blackhole + m.Loss + m.Delay + m.Heal + m.Flap
 }
 
 // pick maps a roll in [0, total) to a kind.
@@ -133,6 +150,7 @@ func (m FaultMix) pick(roll int) ActionKind {
 		{ActCrash, m.Crash}, {ActRestart, m.Restart}, {ActLeaderKill, m.LeaderKill},
 		{ActPartition, m.Partition}, {ActBlackhole, m.Blackhole},
 		{ActLoss, m.Loss}, {ActDelay, m.Delay}, {ActHeal, m.Heal},
+		{ActFlap, m.Flap}, // appended last so legacy mixes keep their roll mapping
 	} {
 		if roll < kw.w {
 			return kw.k
@@ -178,6 +196,21 @@ type Campaign struct {
 	// SACRounds is the number of SAC exactness/privacy oracle rounds run
 	// per campaign (default 3; negative disables).
 	SACRounds int `json:"sac_rounds,omitempty"`
+
+	// Detector enables the self-healing layer on TargetTwoLayer
+	// (cluster.Options.Detector) and arms two extra invariant checkers:
+	//
+	//	health-false-down      no detector may declare a peer Down whose
+	//	                       messages were delivered within threshold
+	//	                       (checked against the cluster's shadow
+	//	                       delivery ledger, an independent data path)
+	//	health-reconvergence   after the last fault lifts, every live
+	//	                       detector returns to all-Up verdicts about
+	//	                       live peers within ReconvergeBoundUs
+	Detector bool `json:"detector,omitempty"`
+	// ReconvergeBoundUs bounds detector re-convergence after quiesce
+	// begins (default 30 s virtual).
+	ReconvergeBoundUs int64 `json:"reconverge_bound_us,omitempty"`
 
 	// ExtraCheckers run at every check interval and at quiesce on top of
 	// the built-in invariants. Not serialized into replay files — a test
@@ -235,6 +268,9 @@ func (c Campaign) normalize() Campaign {
 	if c.SACRounds == 0 {
 		c.SACRounds = 3
 	}
+	if c.ReconvergeBoundUs <= 0 {
+		c.ReconvergeBoundUs = int64(30 * simnet.Second)
+	}
 	return c
 }
 
@@ -253,7 +289,7 @@ func (c Campaign) Generate() []Action {
 	for i := 0; i < c.Steps; i++ {
 		a := Action{Step: i, Kind: c.Mix.pick(rng.Intn(total)), Group: rng.Intn(groups)}
 		switch a.Kind {
-		case ActCrash, ActRestart, ActLeaderKill, ActBlackhole:
+		case ActCrash, ActRestart, ActLeaderKill, ActBlackhole, ActFlap:
 			a.Rank = rng.Intn(1 << 16)
 		case ActPartition:
 			// Random non-trivial bitmask; the executor discards degenerate
@@ -292,6 +328,7 @@ type Stats struct {
 	Partitions     int   `json:"partitions"`
 	NetFaults      int   `json:"net_faults"` // blackhole + loss + delay
 	Heals          int   `json:"heals"`
+	Flaps          int   `json:"flaps,omitempty"`
 	LeaderChanges  int   `json:"leader_changes"`
 	Commits        int   `json:"commits"`
 	SACRounds      int   `json:"sac_rounds"`

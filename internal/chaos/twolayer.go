@@ -7,8 +7,18 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/raft"
 	"repro/internal/simnet"
+)
+
+// Flap cycle timing: the dark window exceeds the detector's default
+// silence threshold (3 heartbeats ≈ 48 ms at the smallest healthy
+// setting), so each flap produces genuine Down verdicts that the
+// recovery half of the cycle must retract.
+const (
+	flapDark  = 60 * simnet.Millisecond
+	flapClear = 40 * simnet.Millisecond
 )
 
 // twWorld is the TargetTwoLayer system under test: the paper's two-layer
@@ -22,6 +32,12 @@ type twWorld struct {
 	sys     *cluster.System
 	m       int // number of subgroups; group index m addresses the FedAvg layer
 	stopped bool
+	// frozen is raised when quiesce begins: in-flight flap cycles must
+	// not re-darken a link the liveness phase just healed.
+	frozen bool
+	// healthSeen indexes into sys.HealthTransitions(): verdicts before
+	// it have already been screened by the false-Down checker.
+	healthSeen int
 }
 
 // executeTwoLayer runs one schedule against a fresh two-layer cluster.
@@ -34,6 +50,7 @@ func executeTwoLayer(c Campaign, actions []Action, rep *Report) {
 		HeartbeatTick:   c.HeartbeatTick,
 		Latency:         simnet.Duration(c.LatencyUs),
 		Seed:            c.Seed,
+		Detector:        c.Detector,
 		Telemetry:       c.Telemetry, // cluster.New pins its clock to the sim
 	})
 	if err != nil {
@@ -176,7 +193,35 @@ func (w *twWorld) apply(a Action) {
 	case ActHeal:
 		w.calmAll()
 		s.Heals++
+	case ActFlap:
+		net := w.net(a.Group)
+		ids := net.IDs()
+		if len(ids) == 0 {
+			return
+		}
+		id := ids[a.Rank%len(ids)]
+		s.Flaps++
+		w.flap(net, id, 2+a.Rank%3)
 	}
+}
+
+// flap darkens id's outbound links on net for flapDark, releases them
+// for flapClear, and repeats. Cycles abandon themselves once quiesce
+// freezes the world.
+func (w *twWorld) flap(net *simnet.Group, id uint64, cycles int) {
+	if w.frozen {
+		return
+	}
+	net.DropFilter = func(m raft.Message) bool { return m.From == id }
+	w.sys.Sim.Schedule(flapDark, func() {
+		if w.frozen {
+			return
+		}
+		net.DropFilter = nil
+		if cycles > 1 {
+			w.sys.Sim.Schedule(flapClear, func() { w.flap(net, id, cycles-1) })
+		}
+	})
 }
 
 func (w *twWorld) calmAll() {
@@ -217,7 +262,27 @@ func (w *twWorld) sweep() {
 	}
 	w.led.checkLogMatching(now, "fed", fedNodes)
 	w.led.checkCommittedAgreement(now, "fed", fedNodes)
+	w.checkHealth()
 	w.led.runExtra(w.c.ExtraCheckers, w.view())
+}
+
+// checkHealth screens detector verdicts issued since the last sweep
+// against the cluster's shadow delivery ledger: a Down verdict whose
+// shadow silence gap is below the detector's threshold condemned a peer
+// whose messages were still arriving — a false positive.
+func (w *twWorld) checkHealth() {
+	if !w.c.Detector {
+		return
+	}
+	trans := w.sys.HealthTransitions()
+	for _, tr := range trans[w.healthSeen:] {
+		if tr.To == health.Down && tr.ShadowGapUs < tr.ThresholdUs {
+			w.led.violate(tr.AtUs, "health-false-down",
+				fmt.Sprintf("peer %d declared %d Down with delivery gap %dµs < threshold %dµs",
+					tr.Owner, tr.Peer, tr.ShadowGapUs, tr.ThresholdUs))
+		}
+	}
+	w.healthSeen = len(trans)
 }
 
 func (w *twWorld) view() View {
@@ -258,8 +323,12 @@ func (w *twWorld) view() View {
 // recovery claim made literal.
 func (w *twWorld) quiesce() {
 	sys := w.sys
+	w.frozen = true // strands in-flight flap cycles
 	w.calmAll()
 	deadline := sys.Sim.Now() + simnet.Time(w.c.QuiesceTimeoutUs)
+	// Re-convergence is bounded from the moment the last fault lifts,
+	// not from whenever the liveness waits happen to finish.
+	reconvergeBy := sys.Sim.Now() + simnet.Time(w.c.ReconvergeBoundUs)
 	now := func() int64 { return int64(sys.Sim.Now()) }
 
 	// Revive every crashed peer, and every crashed FedAvg-layer node: a
@@ -314,6 +383,15 @@ func (w *twWorld) quiesce() {
 		}
 		return true
 	}, deadline)
+
+	// Bounded re-convergence: with the network calm and every peer
+	// revived, no live detector may keep a stale Suspect/Down verdict
+	// about a live peer.
+	if w.c.Detector && !sys.Sim.RunWhileNot(sys.DetectorsConverged, reconvergeBy) {
+		w.led.violate(now(), "health-reconvergence",
+			fmt.Sprintf("detectors still hold non-Up verdicts about live peers %.0fms after the last fault",
+				simnet.Duration(w.c.ReconvergeBoundUs).Ms()))
+	}
 
 	w.aggregationRound(fedID)
 	w.sweep()

@@ -33,6 +33,8 @@ type kvWorld struct {
 	// additionally halts the invariant sweeps at the end of the run.
 	workStopped bool
 	stopped     bool
+	// frozen strands in-flight flap cycles once quiesce heals the net.
+	frozen bool
 }
 
 // nodeRng derives the per-node timeout rng. Folding in the incarnation
@@ -172,7 +174,30 @@ func (w *kvWorld) apply(a Action) {
 	case ActHeal:
 		w.g.Calm()
 		s.Heals++
+	case ActFlap:
+		ids := w.g.IDs()
+		id := ids[a.Rank%len(ids)]
+		s.Flaps++
+		w.flap(id, 2+a.Rank%3)
 	}
+}
+
+// flap cycles id's outbound links dark/clear, abandoning itself once
+// quiesce freezes the world (see twWorld.flap for the timing rationale).
+func (w *kvWorld) flap(id uint64, cycles int) {
+	if w.frozen {
+		return
+	}
+	w.g.DropFilter = func(m raft.Message) bool { return m.From == id }
+	w.sim.Schedule(flapDark, func() {
+		if w.frozen {
+			return
+		}
+		w.g.DropFilter = nil
+		if cycles > 1 {
+			w.sim.Schedule(flapClear, func() { w.flap(id, cycles-1) })
+		}
+	})
 }
 
 func (w *kvWorld) restart(id uint64) {
@@ -294,6 +319,7 @@ func lastStep(actions []Action, steps int) int {
 // the group must elect a leader, commit a marker entry and converge every
 // replica onto identical state within the quiesce timeout.
 func quiesceKV(w *kvWorld) {
+	w.frozen = true
 	w.g.Calm()
 	w.workStopped = true
 	deadline := w.sim.Now() + simnet.Time(w.c.QuiesceTimeoutUs)

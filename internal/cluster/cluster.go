@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/health"
 	"repro/internal/raft"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
@@ -42,6 +43,13 @@ const (
 	// EvJoinedFedAvg: a new subgroup leader's membership in the FedAvg
 	// layer was committed and observed by the joiner.
 	EvJoinedFedAvg EventKind = "joined-fedavg"
+	// EvProactiveCampaign: a follower's failure detector declared the
+	// subgroup leader Down and forced an immediate election instead of
+	// waiting for the U(T,2T) timeout.
+	EvProactiveCampaign EventKind = "proactive-campaign"
+	// EvFedRevived: a re-elected subgroup leader's crashed FedAvg-layer
+	// node was revived automatically (the ReviveFedNode disaster path).
+	EvFedRevived EventKind = "fed-revived"
 )
 
 // Event is one timeline entry.
@@ -86,6 +94,18 @@ type Options struct {
 	// the simulation's virtual clock on it, so identical seeds produce
 	// byte-identical snapshots.
 	Telemetry *telemetry.Registry
+
+	// Detector enables the self-healing layer: every peer runs a
+	// last-activity failure detector (internal/health) over its subgroup
+	// co-members on the virtual clock. Down verdicts about the subgroup
+	// leader trigger rank-staggered proactive campaigns, and a
+	// re-elected leader with a crashed FedAvg-layer node revives it
+	// automatically when the layer is leaderless. See health.go.
+	Detector bool
+	// DetectorSuspectTicks/DetectorDownTicks override the detector's
+	// silence thresholds in heartbeat intervals (defaults 2 and 3).
+	DetectorSuspectTicks int
+	DetectorDownTicks    int
 
 	Seed int64
 }
@@ -149,6 +169,9 @@ type Peer struct {
 	joined    bool
 	joinLoop  bool
 	cfgLoop   bool
+
+	det     *health.Detector
+	detLoop bool
 }
 
 // Down reports whether the peer has crashed.
@@ -192,6 +215,9 @@ type System struct {
 	rng      *rand.Rand
 	events   []Event
 	observer Observer
+
+	healthTrans []HealthTransition
+	lastSeen    map[uint64]map[uint64]simnet.Time
 }
 
 // Observer receives raw role transitions from every raft node in the
@@ -225,6 +251,7 @@ func New(opts Options) (*System, error) {
 		fedGroup: nil,
 		peers:    make(map[uint64]*Peer),
 		rng:      rand.New(rand.NewSource(opts.Seed)),
+		lastSeen: make(map[uint64]map[uint64]simnet.Time),
 	}
 	// Telemetry timestamps follow the virtual clock: every event in a
 	// seeded simulation happens at a reproducible virtual time.
@@ -272,6 +299,11 @@ func New(opts Options) (*System, error) {
 			p.subHost = host
 			s.peers[pid] = p
 			s.wireSubgroupCallbacks(p)
+			if opts.Detector {
+				if err := s.setupDetector(p, ids); err != nil {
+					return nil, err
+				}
+			}
 		}
 		s.subGroups = append(s.subGroups, group)
 	}
@@ -423,6 +455,9 @@ func (s *System) wireSubgroupCallbacks(p *Peer) {
 		if s.observer.SubgroupState != nil {
 			s.observer.SubgroupState(p.ID, p.Subgroup, st, term, leader)
 		}
+		if p.det != nil {
+			s.updateWatch(p, st, leader)
+		}
 		if st != raft.Leader {
 			return
 		}
@@ -433,6 +468,15 @@ func (s *System) wireSubgroupCallbacks(p *Peer) {
 			s.startJoin(p)
 		}
 		s.scheduleConfigCommit(p)
+		// Self-healing: a re-elected leader whose FedAvg-layer node is
+		// still down revives it when the layer is leaderless — with no
+		// FedAvg leader alive, the join protocol cannot commit the
+		// membership change, so waiting on it would stall forever.
+		if p.det != nil && p.fedHost != nil && p.fedHost.Down() && s.FedAvgLeader() == raft.None {
+			if err := s.ReviveFedNode(p.ID); err == nil {
+				s.record(EvFedRevived, p.ID, p.Subgroup)
+			}
+		}
 	}
 	p.subHost.OnCommit = func(e raft.Entry) {
 		if e.Type != raft.EntryNormal || !strings.HasPrefix(string(e.Data), fedConfigPrefix) {
@@ -627,6 +671,13 @@ func (s *System) RestartPeer(id uint64) error {
 	// The restarted peer is a follower; if it previously joined the
 	// FedAvg layer that membership only matters again once re-elected.
 	p.joined = false
+	if p.det != nil {
+		// A reborn node has no basis for its old verdicts: restart the
+		// detector Up with fresh timers and re-arm its tick loop.
+		p.det.Reset()
+		p.det.SetWatch(nil)
+		s.scheduleDetectorTick(p)
+	}
 	return nil
 }
 

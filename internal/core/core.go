@@ -167,6 +167,7 @@ type sysTel struct {
 	roundsCompleted   *telemetry.Counter
 	subgroupsOK       *telemetry.Counter
 	subgroupsExcluded *telemetry.Counter
+	subgroupsDegraded *telemetry.Counter
 	sacFailed         *telemetry.Counter
 	fedavgWeight      *telemetry.Gauge
 	roundBytes        *telemetry.Histogram
@@ -182,6 +183,7 @@ func newSysTel(reg *telemetry.Registry) sysTel {
 		roundsCompleted:   reg.Counter("round/completed"),
 		subgroupsOK:       reg.Counter("round/subgroups_ok"),
 		subgroupsExcluded: reg.Counter("round/subgroups_excluded"),
+		subgroupsDegraded: reg.Counter("round/subgroups_degraded"),
 		sacFailed:         reg.Counter("round/sac_failed"),
 		fedavgWeight:      reg.Gauge("round/fedavg_weight_total"),
 		roundBytes:        reg.Histogram("round/bytes", roundBytesBounds),
@@ -217,6 +219,9 @@ type RoundResult struct {
 	// Participated lists subgroup indices included in the FedAvg
 	// aggregation (slow or failed subgroups are excluded).
 	Participated []int
+	// Degraded echoes the subgroups skipped because they had lost Raft
+	// quorum when the round ran (RoundSpec.Degraded).
+	Degraded []int
 	// Bytes is the traffic of this round only.
 	Bytes int64
 }
@@ -239,6 +244,14 @@ type RoundSpec struct {
 	// layer; −1 (or a non-participating subgroup) falls back to the
 	// first participating subgroup.
 	FedLeader int
+	// Degraded lists subgroups that lost Raft quorum mid-round (as
+	// reported by the health layer, internal/cluster). The FedAvg leader
+	// records the degradation and proceeds without them under the
+	// fraction-p semantics of Sec. VI-A3 instead of stalling: no SAC is
+	// attempted there, their leaders are not validated (a quorumless
+	// subgroup may have none), and no distribution bytes are charged
+	// toward them.
+	Degraded []int
 }
 
 // Aggregate runs Alg. 3 once with default round parameters. models[i] is
@@ -264,19 +277,31 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 	if spec.Leaders != nil && len(spec.Leaders) != m {
 		return nil, fmt.Errorf("core: %d leaders for %d subgroups", len(spec.Leaders), m)
 	}
+	degraded := make(map[int]bool, len(spec.Degraded))
 	dim := len(models[0])
 	before := s.counter.TotalBytes()
 	s.tel.roundsStarted.Inc()
 	res := &RoundResult{SubgroupAvgs: make([][]float64, m)}
+	for _, g := range spec.Degraded {
+		if g < 0 || g >= m {
+			return nil, fmt.Errorf("core: degraded subgroup %d out of [0,%d)", g, m)
+		}
+		if !degraded[g] {
+			degraded[g] = true
+			res.Degraded = append(res.Degraded, g)
+		}
+	}
 	subCounts := make([]float64, m)
 
 	// Validate leaders and precompute subgroup offsets before fanning out.
+	// Degraded subgroups skip leader validation: a subgroup without
+	// quorum may legitimately have no leader at all.
 	offsets := make([]int, m)
 	leaders := make([]int, m)
 	off := 0
 	for g, size := range s.cfg.Sizes {
 		offsets[g] = off
-		if spec.Leaders != nil {
+		if spec.Leaders != nil && !degraded[g] {
 			leaders[g] = spec.Leaders[g]
 			if leaders[g] < 0 || leaders[g] >= size {
 				return nil, fmt.Errorf("core: subgroup %d leader %d out of [0,%d)", g, leaders[g], size)
@@ -293,6 +318,9 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 	}
 	sacResults := make([]*sac.Result, m)
 	runSubgroup := func(g int, rng *rand.Rand) {
+		if degraded[g] {
+			return // no quorum: the round proceeds without this subgroup
+		}
 		size := s.cfg.Sizes[g]
 		mesh := transport.NewMesh(size, s.counter)
 		mesh.SetTelemetry(s.cfg.Telemetry)
@@ -341,6 +369,14 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 		return nil, ErrNoSubgroups
 	}
 	s.tel.subgroupsOK.Add(int64(len(okSubs)))
+	if len(res.Degraded) > 0 {
+		// Degraded-round event: the FedAvg leader records which subgroups
+		// were dropped for lost quorum before proceeding under fraction p.
+		s.tel.subgroupsDegraded.Add(int64(len(res.Degraded)))
+		for _, g := range res.Degraded {
+			s.tel.reg.Trace("round/degraded", 0, g)
+		}
+	}
 
 	// Fraction p (slow subgroups): the FedAvg leader proceeds with a
 	// random subset of the successful subgroups.
@@ -403,8 +439,13 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 
 	// Distribute: FedAvg leader → every other subgroup leader (slow
 	// subgroups receive the global model too — every peer resumes from
-	// it), then each subgroup leader → its followers.
+	// it), then each subgroup leader → its followers. Degraded subgroups
+	// get nothing: with quorum lost there is no leader to receive the
+	// model; they catch up from the next round's distribution.
 	for g, size := range s.cfg.Sizes {
+		if degraded[g] {
+			continue
+		}
 		if g != fedLeader {
 			s.counter.Record(KindDownload, int64(8*dim))
 		}

@@ -185,6 +185,10 @@ type Host struct {
 	OnSnapshot func(s *raft.Snapshot)
 	// OnStateChange, if set, observes role transitions.
 	OnStateChange func(state raft.State, term, leader uint64)
+	// OnMessage, if set, observes every message delivered to this host
+	// (before the node steps it). Failure detectors hang off this: a
+	// delivered message is proof of life for its sender.
+	OnMessage func(m raft.Message)
 
 	lastState  raft.State
 	lastTerm   uint64
@@ -357,6 +361,9 @@ func (g *Group) deliver(m raft.Message) {
 		dst, ok := g.hosts[m.To]
 		if !ok || dst.down {
 			return
+		}
+		if dst.OnMessage != nil {
+			dst.OnMessage(m)
 		}
 		if err := dst.Node.Step(m); err != nil {
 			return

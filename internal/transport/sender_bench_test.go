@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/raft"
+)
+
+// syncSender replicates the pre-async transport's happy path — one
+// shared mutex, gob encode straight onto the connection — as the
+// baseline for the overhead contract: the per-peer queue+goroutine
+// design must not cost the healthy path more than 5% (checked by
+// cmd/p2pfl-benchjson -pairs
+// 'RaftTCPSendHealthyPeerAsync=RaftTCPSendHealthyPeerSync').
+type syncSender struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	buf     bytes.Buffer
+	counter *Counter
+}
+
+func newSyncSender(conn net.Conn) *syncSender {
+	s := &syncSender{conn: conn, counter: NewCounter()}
+	s.enc = gob.NewEncoder(&s.buf)
+	return s
+}
+
+func (s *syncSender) send(m raft.Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf.Reset()
+	if err := s.enc.Encode(m); err != nil {
+		return err
+	}
+	s.counter.Record("raft/"+m.Type.String(), int64(s.buf.Len()))
+	_, err := s.conn.Write(s.buf.Bytes())
+	return err
+}
+
+// senderBench is one loopback sender/receiver pair with a delivery-ack
+// channel, driven in short timed slices.
+type senderBench struct {
+	send func(raft.Message) error
+	acks <-chan struct{}
+	msg  raft.Message
+}
+
+// slice sends msgs messages and waits until all of them have been
+// decoded at the receiver, returning the elapsed time. End-to-end
+// completion is the honest unit: the async variant must not win by
+// merely enqueueing. The wait must park, not spin or poll — a spinning
+// waiter steals CPU from exactly the goroutines still doing the async
+// variant's work (its sender drains the queue after Send returns,
+// while the sync variant's writes all finish before the wait begins),
+// and a sleep-poll quantizes every slice by the timer resolution.
+// Blocking on one ack per message wakes the waiter exactly when the
+// receiver decodes.
+func (sb *senderBench) slice(b *testing.B, msgs int) time.Duration {
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		if err := sb.send(sb.msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		<-sb.acks
+	}
+	return time.Since(start)
+}
+
+// Both benchmarks report from ONE shared interleaved measurement taken
+// on first use. The gated quantity is the Async/Sync ratio
+// (cmd/p2pfl-benchjson -pairs): measuring each variant in its own
+// invocation would compare two different time windows — different GC
+// heap, different background load — and re-introduce exactly the noise
+// the slice-by-slice interleave exists to remove. The sync baseline
+// reports its median slice; the async variant reports baseline times
+// the median per-round ratio (see measureTCPSendHealthy).
+var (
+	sendBenchOnce  sync.Once
+	sendBenchAsync float64 // median async slice group, ns
+	sendBenchSync  float64 // median sync slice group, ns
+	sendBenchErr   error
+)
+
+const (
+	sendMsgsPerSlice = 32
+	sendSlicesPerOp  = 20
+	sendBlocks       = 6  // connection re-rolls per measurement
+	sendBlockRounds  = 30 // interleaved rounds per block
+)
+
+func measureTCPSendHealthy(b *testing.B) {
+	recv, err := NewRaftTCP(2, map[uint64]string{2: "127.0.0.1:0"}, nil)
+	if err != nil {
+		sendBenchErr = err
+		return
+	}
+	defer recv.Close()
+	// Drains until the process exits; nothing arrives after recv.Close.
+	acks := make(chan struct{}, 4096)
+	go func() {
+		for range recv.Recv() {
+			acks <- struct{}{}
+		}
+	}()
+
+	// A 16 KB append mirrors real traffic — entries carry model-update
+	// and SAC-share payloads, which run to tens of kilobytes. The
+	// per-message constant costs — the channel handoff in the async
+	// path — must be judged against realistic encode/write/decode work,
+	// not against near-empty messages.
+	msg := raft.Message{
+		Type: raft.MsgAppend, From: 1, To: 2, Term: 5,
+		Entries: []raft.Entry{{Index: 1, Term: 5, Data: make([]byte, 16384)}},
+		Commit:  1,
+	}
+
+	// Paired statistic over re-rolled connections: within a block, each
+	// round runs the two variants back to back (~1ms apart), so a slow
+	// regime spanning seconds — GC heap growth, neighbour load on this
+	// shared core — inflates both slices of a round and cancels in that
+	// round's ratio. A regime that sticks to one CONNECTION (kernel
+	// buffer autotuning, netpoller placement) does not cancel that way,
+	// so both endpoints are torn down and re-dialed every block and the
+	// reported overhead is the median ratio across all rounds of all
+	// blocks. A minimum or a per-variant median would re-expose the
+	// ratio to whichever regime a single connection pair happened to
+	// draw.
+	var syncDurs []time.Duration
+	var ratios []float64
+	for blk := 0; blk < sendBlocks; blk++ {
+		asyncTr, err := NewRaftTCP(1, map[uint64]string{1: "127.0.0.1:0", 2: recv.Addr()}, nil)
+		if err != nil {
+			sendBenchErr = err
+			return
+		}
+		conn, err := net.DialTimeout("tcp", recv.Addr(), 2*time.Second)
+		if err != nil {
+			asyncTr.Close()
+			sendBenchErr = err
+			return
+		}
+		syncTr := newSyncSender(conn)
+		asyncBench := &senderBench{send: asyncTr.Send, acks: acks, msg: msg}
+		syncBench := &senderBench{send: syncTr.send, acks: acks, msg: msg}
+		asyncBench.slice(b, sendMsgsPerSlice*2) // warm: conns dialed, gob types exchanged
+		syncBench.slice(b, sendMsgsPerSlice*2)
+		for s := 0; s < sendBlockRounds; s++ {
+			a := asyncBench.slice(b, sendMsgsPerSlice)
+			y := syncBench.slice(b, sendMsgsPerSlice)
+			syncDurs = append(syncDurs, y)
+			ratios = append(ratios, float64(a)/float64(y))
+		}
+		conn.Close()
+		asyncTr.Close()
+	}
+	sort.Slice(syncDurs, func(i, j int) bool { return syncDurs[i] < syncDurs[j] })
+	sort.Float64s(ratios)
+	sendBenchSync = float64(syncDurs[len(syncDurs)/2].Nanoseconds()) * sendSlicesPerOp
+	sendBenchAsync = sendBenchSync * ratios[len(ratios)/2]
+}
+
+func benchmarkTCPSendHealthy(b *testing.B, async bool) {
+	sendBenchOnce.Do(func() { measureTCPSendHealthy(b) })
+	if sendBenchErr != nil {
+		b.Fatal(sendBenchErr)
+	}
+	for i := 0; i < b.N; i++ {
+		// The measurement is shared; iterations are intentionally empty.
+	}
+	if async {
+		b.ReportMetric(sendBenchAsync, "ns/op")
+	} else {
+		b.ReportMetric(sendBenchSync, "ns/op")
+	}
+}
+
+func BenchmarkRaftTCPSendHealthyPeerSync(b *testing.B)  { benchmarkTCPSendHealthy(b, false) }
+func BenchmarkRaftTCPSendHealthyPeerAsync(b *testing.B) { benchmarkTCPSendHealthy(b, true) }

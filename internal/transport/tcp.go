@@ -1,28 +1,108 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/raft"
+	"repro/internal/telemetry"
 )
+
+// Tunables for the per-peer sender machinery. Raft tolerates message
+// loss, so every bound here sheds load instead of blocking: a full
+// queue drops the newest message, a dead peer's messages are dropped
+// while its dial backs off, and the caller of Send never waits.
+const (
+	// senderQueueCap bounds each peer's outbound queue.
+	senderQueueCap = 512
+	// dialTimeout caps one connection attempt. It only ever delays the
+	// dead peer's own sender goroutine, never other peers or Send.
+	dialTimeout = 500 * time.Millisecond
+	// dialBackoffBase..dialBackoffCap bound the capped exponential
+	// backoff between dial attempts to an unreachable peer.
+	dialBackoffBase = 10 * time.Millisecond
+	dialBackoffCap  = time.Second
+	// acceptBackoffBase..acceptBackoffCap pace retries after transient
+	// Accept errors (e.g. EMFILE) instead of busy-spinning.
+	acceptBackoffBase = 5 * time.Millisecond
+	acceptBackoffCap  = 500 * time.Millisecond
+	// suspectAfterFailures / downAfterFailures are the consecutive
+	// dial/write failure counts that open the circuit.
+	suspectAfterFailures = 1
+	downAfterFailures    = 3
+)
+
+// CircuitState is a peer connection's health as seen by its sender:
+// Up (connected or never tried), Suspect (first failures), Down
+// (persistently unreachable), Probing (Down, re-dial in flight).
+type CircuitState int32
+
+// Circuit states in escalation order.
+const (
+	CircuitUp CircuitState = iota
+	CircuitSuspect
+	CircuitDown
+	CircuitProbing
+)
+
+// String returns the lowercase state name.
+func (s CircuitState) String() string {
+	switch s {
+	case CircuitUp:
+		return "up"
+	case CircuitSuspect:
+		return "suspect"
+	case CircuitDown:
+		return "down"
+	case CircuitProbing:
+		return "probing"
+	default:
+		return "unknown"
+	}
+}
+
+// PeerCircuit is one peer's sender status, for /debug/health.
+type PeerCircuit struct {
+	Peer     uint64 `json:"peer"`
+	State    string `json:"state"`
+	QueueLen int    `json:"queue_len"`
+	Drops    int64  `json:"drops"`
+}
+
+// raftTel holds pre-resolved telemetry handles; the zero value (all
+// nil) is a valid no-op set.
+type raftTel struct {
+	msgsSent     *telemetry.Counter
+	bytesSent    *telemetry.Counter
+	msgsReceived *telemetry.Counter
+	msgsDropped  *telemetry.Counter
+	dialFailures *telemetry.Counter
+	circuitDowns *telemetry.Counter
+}
 
 // RaftTCP moves raft.Messages between real processes over TCP with gob
 // encoding — the real-time counterpart of the discrete-event simulator,
-// used by cmd/p2pfl-node. One outbound connection per peer is dialed
-// lazily and re-dialed on failure; inbound messages are fanned into a
-// single receive channel.
+// used by cmd/p2pfl-node. Each peer gets its own sender goroutine with
+// a bounded outbound queue, so Send never blocks and a dead peer's dial
+// timeout cannot head-of-line block traffic to healthy peers. Dials
+// back off exponentially (capped, deterministically jittered) and each
+// peer carries a circuit state (up → suspect → down → probing) exposed
+// for the health layer. Inbound messages fan into a single receive
+// channel; per-message byte counts are exact gob-encoded sizes.
 type RaftTCP struct {
-	id    uint64
-	addrs map[uint64]string
+	id uint64
 
 	mu      sync.Mutex
-	conns   map[uint64]*gob.Encoder
-	raw     map[uint64]net.Conn
+	addrs   map[uint64]string
+	senders map[uint64]*peerSender
 	inbound map[net.Conn]struct{}
+	closed  bool
 
 	ln        net.Listener
 	recvCh    chan raft.Message
@@ -30,7 +110,9 @@ type RaftTCP struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
-	counter *Counter
+	counter  *Counter
+	tel      atomic.Pointer[raftTel]
+	activity atomic.Pointer[func(peer uint64)]
 }
 
 // NewRaftTCP starts a transport listening on addrs[id]. addrs maps every
@@ -50,14 +132,14 @@ func NewRaftTCP(id uint64, addrs map[uint64]string, counter *Counter) (*RaftTCP,
 	t := &RaftTCP{
 		id:      id,
 		addrs:   make(map[uint64]string, len(addrs)),
-		conns:   make(map[uint64]*gob.Encoder),
-		raw:     make(map[uint64]net.Conn),
+		senders: make(map[uint64]*peerSender),
 		inbound: make(map[net.Conn]struct{}),
 		ln:      ln,
 		recvCh:  make(chan raft.Message, 1024),
 		done:    make(chan struct{}),
 		counter: counter,
 	}
+	t.tel.Store(&raftTel{})
 	for k, v := range addrs {
 		t.addrs[k] = v
 	}
@@ -76,8 +158,37 @@ func (t *RaftTCP) Recv() <-chan raft.Message { return t.recvCh }
 // Counter returns the transport's traffic counter.
 func (t *RaftTCP) Counter() *Counter { return t.counter }
 
+// SetTelemetry wires the transport into a registry, resolving the
+// transport/raft_* counters once. A nil registry resets to no-op.
+func (t *RaftTCP) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		t.tel.Store(&raftTel{})
+		return
+	}
+	t.tel.Store(&raftTel{
+		msgsSent:     reg.Counter("transport/raft_msgs_sent"),
+		bytesSent:    reg.Counter("transport/raft_bytes_sent"),
+		msgsReceived: reg.Counter("transport/raft_msgs_received"),
+		msgsDropped:  reg.Counter("transport/raft_msgs_dropped"),
+		dialFailures: reg.Counter("transport/raft_dial_failures"),
+		circuitDowns: reg.Counter("transport/raft_circuit_downs"),
+	})
+}
+
+// SetActivityFunc installs a callback invoked (from the read goroutines)
+// with the sender id of every decoded inbound message. The health
+// detector hangs off this: message arrival is proof of life.
+func (t *RaftTCP) SetActivityFunc(fn func(peer uint64)) {
+	if fn == nil {
+		t.activity.Store(nil)
+		return
+	}
+	t.activity.Store(&fn)
+}
+
 func (t *RaftTCP) acceptLoop() {
 	defer t.wg.Done()
+	backoff := acceptBackoffBase
 	for {
 		conn, err := t.ln.Accept()
 		if err != nil {
@@ -85,9 +196,22 @@ func (t *RaftTCP) acceptLoop() {
 			case <-t.done:
 				return
 			default:
-				continue
 			}
+			// Transient error (EMFILE, ECONNABORTED, ...): back off with a
+			// capped doubling delay instead of spinning on Accept.
+			timer := time.NewTimer(backoff)
+			select {
+			case <-t.done:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			if backoff *= 2; backoff > acceptBackoffCap {
+				backoff = acceptBackoffCap
+			}
+			continue
 		}
+		backoff = acceptBackoffBase
 		t.wg.Add(1)
 		go t.readLoop(conn)
 	}
@@ -110,6 +234,10 @@ func (t *RaftTCP) readLoop(conn net.Conn) {
 		if err := dec.Decode(&m); err != nil {
 			return
 		}
+		t.tel.Load().msgsReceived.Inc()
+		if fn := t.activity.Load(); fn != nil {
+			(*fn)(m.From)
+		}
 		select {
 		case t.recvCh <- m:
 		case <-t.done:
@@ -118,59 +246,101 @@ func (t *RaftTCP) readLoop(conn net.Conn) {
 	}
 }
 
-// Send encodes m to its destination, dialing on demand. Failures close
-// the cached connection so the next Send re-dials; the message is
-// dropped (Raft tolerates message loss).
+// Send hands m to the destination peer's sender goroutine and returns
+// immediately. It never blocks: a full queue drops the message (counted
+// in telemetry — raft tolerates loss and retries). The only error is an
+// unknown destination.
 func (t *RaftTCP) Send(m raft.Message) error {
-	addr, ok := t.addrs[m.To]
-	if !ok {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: closed")
+	}
+	if _, ok := t.addrs[m.To]; !ok {
+		t.mu.Unlock()
 		return fmt.Errorf("transport: no address for node %d", m.To)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	enc, ok := t.conns[m.To]
+	s, ok := t.senders[m.To]
 	if !ok {
-		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
-		if err != nil {
-			return fmt.Errorf("transport: dial %s: %w", addr, err)
-		}
-		enc = gob.NewEncoder(conn)
-		t.conns[m.To] = enc
-		t.raw[m.To] = conn
+		s = &peerSender{t: t, id: m.To, ch: make(chan raft.Message, senderQueueCap)}
+		t.senders[m.To] = s
+		t.wg.Add(1)
+		go s.loop()
 	}
-	if err := enc.Encode(m); err != nil {
-		if c := t.raw[m.To]; c != nil {
-			c.Close()
-		}
-		delete(t.conns, m.To)
-		delete(t.raw, m.To)
-		return fmt.Errorf("transport: send to %d: %w", m.To, err)
+	t.mu.Unlock()
+	select {
+	case s.ch <- m:
+	default:
+		s.drop()
 	}
-	t.counter.Record("raft/"+m.Type.String(), int64(8*len(m.Entries)*16+64))
 	return nil
 }
 
 // RegisterAddr adds or updates a peer address (e.g. a node added via a
-// membership change).
+// membership change, or one restarted on a new port). A changed address
+// resets the peer's sender — connection, failure count and backoff — so
+// the next message dials fresh.
 func (t *RaftTCP) RegisterAddr(id uint64, addr string) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	old := t.addrs[id]
 	t.addrs[id] = addr
+	s := t.senders[id]
+	t.mu.Unlock()
+	if s != nil && old != addr {
+		s.reset.Store(true)
+	}
 }
 
-// Close shuts the listener and all connections down. It is idempotent.
+func (t *RaftTCP) addrOf(id uint64) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.addrs[id]
+	return a, ok
+}
+
+// PeerState returns the circuit state of the sender for peer id. The
+// second result is false if no message was ever sent toward that peer.
+func (t *RaftTCP) PeerState(id uint64) (CircuitState, bool) {
+	t.mu.Lock()
+	s, ok := t.senders[id]
+	t.mu.Unlock()
+	if !ok {
+		return CircuitUp, false
+	}
+	return CircuitState(s.state.Load()), true
+}
+
+// PeerStates returns every active sender's status in ascending peer-id
+// order, for the /debug/health endpoint.
+func (t *RaftTCP) PeerStates() []PeerCircuit {
+	t.mu.Lock()
+	out := make([]PeerCircuit, 0, len(t.senders))
+	for id, s := range t.senders {
+		out = append(out, PeerCircuit{
+			Peer:     id,
+			State:    CircuitState(s.state.Load()).String(),
+			QueueLen: len(s.ch),
+			Drops:    s.drops.Load(),
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// Close shuts the listener, sender goroutines and inbound connections
+// down. It is idempotent.
 func (t *RaftTCP) Close() error {
 	var err error
 	t.closeOnce.Do(func() {
+		t.mu.Lock()
+		t.closed = true
+		t.mu.Unlock()
 		close(t.done)
 		err = t.ln.Close()
+		// Unblock readLoops parked in Decode on accepted connections;
+		// sender loops see done and close their own conns.
 		t.mu.Lock()
-		for id, c := range t.raw {
-			c.Close()
-			delete(t.raw, id)
-			delete(t.conns, id)
-		}
-		// Unblock readLoops parked in Decode on accepted connections.
 		for c := range t.inbound {
 			c.Close()
 		}
@@ -178,4 +348,142 @@ func (t *RaftTCP) Close() error {
 		t.wg.Wait()
 	})
 	return err
+}
+
+// peerSender owns all traffic toward one peer: a bounded queue drained
+// by a single goroutine that dials, encodes and writes. Everything
+// slow — dialing a dead host, a stalled TCP window — happens here, on
+// this peer's goroutine only.
+type peerSender struct {
+	t     *RaftTCP
+	id    uint64
+	ch    chan raft.Message
+	state atomic.Int32 // CircuitState
+	drops atomic.Int64
+	reset atomic.Bool // set by RegisterAddr on an address change
+}
+
+func (s *peerSender) drop() {
+	s.drops.Add(1)
+	s.t.tel.Load().msgsDropped.Inc()
+}
+
+func (s *peerSender) setState(st CircuitState) {
+	if CircuitState(s.state.Swap(int32(st))) != st && st == CircuitDown {
+		s.t.tel.Load().circuitDowns.Inc()
+	}
+}
+
+// onFailure escalates the circuit after a failed dial or write.
+func (s *peerSender) onFailure(failures int) {
+	s.t.tel.Load().dialFailures.Inc()
+	switch {
+	case failures >= downAfterFailures:
+		s.setState(CircuitDown)
+	case failures >= suspectAfterFailures:
+		s.setState(CircuitSuspect)
+	}
+}
+
+func (s *peerSender) loop() {
+	defer s.t.wg.Done()
+	var (
+		conn     net.Conn
+		enc      *gob.Encoder
+		buf      bytes.Buffer
+		failures int
+		nextDial time.Time
+	)
+	closeConn := func() {
+		if conn != nil {
+			conn.Close()
+			conn = nil
+			enc = nil
+		}
+	}
+	defer closeConn()
+	for {
+		select {
+		case <-s.t.done:
+			return
+		case m := <-s.ch:
+			if s.reset.CompareAndSwap(true, false) {
+				closeConn()
+				failures = 0
+				nextDial = time.Time{}
+				s.setState(CircuitUp)
+			}
+			if conn == nil {
+				if time.Now().Before(nextDial) {
+					s.drop() // still backing off: shed instead of blocking the queue
+					continue
+				}
+				if failures >= downAfterFailures {
+					s.setState(CircuitProbing)
+				}
+				addr, ok := s.t.addrOf(s.id)
+				if !ok {
+					s.drop()
+					continue
+				}
+				c, err := net.DialTimeout("tcp", addr, dialTimeout)
+				if err != nil {
+					failures++
+					s.onFailure(failures)
+					nextDial = time.Now().Add(backoffFor(s.id, failures))
+					s.drop()
+					continue
+				}
+				conn = c
+				enc = gob.NewEncoder(&buf) // fresh stream: type info is resent
+				failures = 0
+				nextDial = time.Time{}
+				s.setState(CircuitUp)
+			}
+			buf.Reset()
+			if err := enc.Encode(m); err != nil {
+				closeConn()
+				failures++
+				s.onFailure(failures)
+				nextDial = time.Now().Add(backoffFor(s.id, failures))
+				s.drop()
+				continue
+			}
+			// Record the exact encoded size BEFORE the bytes hit the wire,
+			// so a receiver can never observe a message the sender's counter
+			// has not yet accounted for.
+			n := int64(buf.Len())
+			s.t.counter.Record("raft/"+m.Type.String(), n)
+			tel := s.t.tel.Load()
+			tel.msgsSent.Inc()
+			tel.bytesSent.Add(n)
+			if _, err := conn.Write(buf.Bytes()); err != nil {
+				closeConn()
+				failures++
+				s.onFailure(failures)
+				nextDial = time.Now().Add(backoffFor(s.id, failures))
+				// Counted but lost in transit — raft retries.
+			}
+		}
+	}
+}
+
+// backoffFor returns the capped exponential delay before dial attempt
+// failures+1, jittered ±25% by a hash of (peer, failures) — fully
+// deterministic, so a test replaying the same failure sequence sees the
+// same schedule, while distinct peers still desynchronize.
+func backoffFor(peer uint64, failures int) time.Duration {
+	d := dialBackoffBase
+	for i := 1; i < failures && d < dialBackoffCap; i++ {
+		d *= 2
+	}
+	if d > dialBackoffCap {
+		d = dialBackoffCap
+	}
+	h := peer*0x9E3779B97F4A7C15 + uint64(failures)*0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 29
+	frac := int64(h%513) - 256 // uniform-ish in [-256, 256]
+	return d + time.Duration(int64(d)*frac/1024)
 }
