@@ -2,15 +2,19 @@ GO ?= go
 
 # Tier-1 benchmarks: the compute hot path (matmul, im2col, one training
 # step), the per-client and 15-peer round loops, the aggregation
-# engine, and the telemetry overhead pairs. `make bench` snapshots them
-# as BENCH_<n>.json; `make bench-check` fails on a >20% ns/op
-# regression vs the latest snapshot, or on an instrumented/nil
-# telemetry pair exceeding its same-run 5% overhead budget.
-BENCH_PATTERN := 'BenchmarkMatMul|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkPaperCNNTrainStep|BenchmarkClientTrainRound|BenchmarkRound15Peers|BenchmarkAggregate|BenchmarkRaftTick|BenchmarkSACRound|BenchmarkRaftTCPSend'
+# engine, the wire/gob checkpoint codecs, and the telemetry overhead
+# pairs. `make bench` snapshots them as BENCH_<n>.json; `make
+# bench-check` fails on a >20% ns/op regression vs the latest snapshot,
+# on an instrumented/nil telemetry pair exceeding its same-run 5%
+# overhead budget, or on a wire-pipeline pair missing its absolute
+# ratio budget (wire encode ≤ 0.5× gob; pooled SAC round ≤ 0.5× the
+# fresh round's allocs/op).
+BENCH_PATTERN := 'BenchmarkMatMul|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkPaperCNNTrainStep|BenchmarkClientTrainRound|BenchmarkRound15Peers|BenchmarkAggregate|BenchmarkRaftTick|BenchmarkSACRound|BenchmarkRaftTCPSend|BenchmarkEncodeModel|BenchmarkDecodeModelWire'
 BENCH_ARGS := -run '^$$' -bench $(BENCH_PATTERN) -benchmem -benchtime 10x ./...
 TELEMETRY_PAIRS := 'RaftTickLive=RaftTickNil,SACRoundLive=SACRoundNil,RaftTCPSendHealthyPeerAsync=RaftTCPSendHealthyPeerSync'
+WIRE_PAIRS := 'EncodeModelWire=EncodeModelGob@0.5,allocs:SACRoundAllocsPooled=SACRoundAllocsFresh@0.5'
 
-.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry test-health
+.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry test-health test-wire
 
 all: check
 
@@ -38,7 +42,7 @@ bench:
 	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -write
 
 bench-check:
-	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -check -pairs $(TELEMETRY_PAIRS) -pair-tolerance 0.05
+	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -check -pairs $(TELEMETRY_PAIRS),$(WIRE_PAIRS) -pair-tolerance 0.05
 
 # Telemetry exposition suite under -race: the registry package in
 # full, the wired subsystems' counting/determinism regressions, and the
@@ -56,5 +60,13 @@ test-health:
 	$(GO) test -race ./internal/health/ ./internal/transport/
 	$(GO) test -race -run 'Detector|AutoFedRevive|Degraded|Flapping|HeadOfLine' \
 		./internal/cluster/ ./internal/chaos/ ./internal/core/
+
+# Wire-codec suite under -race: the codec itself (golden files, fuzz
+# corpus regressions, truncation/corruption rejection), the transports
+# that frame with it, the nn checkpoint round-trip/compat tests, and
+# the SAC scratch determinism tests that share its pooled buffers.
+test-wire:
+	$(GO) test -race ./internal/wire/ ./internal/transport/ ./internal/nn/ \
+		./internal/secretshare/ ./internal/sac/ ./internal/simnet/
 
 check: vet build test race chaos-smoke

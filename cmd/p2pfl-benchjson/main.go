@@ -15,13 +15,22 @@
 // reported but never fail the check, so adding or retiring benchmarks
 // doesn't break CI.
 //
-// -pairs adds same-run ratio checks: "A=B,C=D" asserts ns/op(A) stays
-// within -pair-tolerance (default 5%) of ns/op(B) in the CURRENT run.
-// Unlike the snapshot comparison, machine-speed drift cancels out, so
-// this is the right guard for "instrumented vs uninstrumented" overhead
-// contracts (e.g. RaftTickLive=RaftTickNil). A pair with either member
-// missing from the run fails the check — a silently skipped overhead
-// gate is a broken gate.
+// -pairs adds same-run ratio checks. Each entry is
+//
+//	[metric:]A=B[@budget]
+//
+// The plain form "A=B" asserts ns/op(A) stays within -pair-tolerance
+// (default 5%) of ns/op(B) in the CURRENT run. Unlike the snapshot
+// comparison, machine-speed drift cancels out, so this is the right
+// guard for "instrumented vs uninstrumented" overhead contracts (e.g.
+// RaftTickLive=RaftTickNil). "@budget" replaces the implicit 1+tol
+// ceiling with an absolute ratio: "EncodeModelWire=EncodeModelGob@0.5"
+// demands the wire codec run in at most half the gob time. A metric
+// prefix selects what is compared — "allocs:" gates allocs/op instead
+// of ns/op, e.g. "allocs:SACRoundAllocsPooled=SACRoundAllocsFresh@0.5"
+// demands the pooled round allocate at most half as often. A pair with
+// either member missing from the run fails the check — a silently
+// skipped gate is a broken gate.
 package main
 
 import (
@@ -178,37 +187,98 @@ func check(latest string, current []Benchmark, tolerance float64) error {
 	return nil
 }
 
-// checkPairs enforces same-run ratio contracts parsed from "A=B,...":
-// ns/op(A) must not exceed ns/op(B) by more than tolerance.
+// pairSpec is one parsed -pairs entry: [metric:]A=B[@budget].
+type pairSpec struct {
+	metric string // "ns" (default) or "allocs"
+	a, b   string
+	budget float64 // max allowed metric(A)/metric(B)
+}
+
+// parsePair parses one -pairs entry. defaultBudget applies when no
+// explicit @budget is given.
+func parsePair(entry string, defaultBudget float64) (pairSpec, error) {
+	p := pairSpec{metric: "ns", budget: defaultBudget}
+	s := strings.TrimSpace(entry)
+	if metric, rest, ok := strings.Cut(s, ":"); ok {
+		switch metric {
+		case "ns", "allocs":
+			p.metric = metric
+		default:
+			return p, fmt.Errorf("bad -pairs entry %q: unknown metric %q (want ns or allocs)", entry, metric)
+		}
+		s = rest
+	}
+	if body, budget, ok := strings.Cut(s, "@"); ok {
+		v, err := strconv.ParseFloat(budget, 64)
+		if err != nil || v <= 0 {
+			return p, fmt.Errorf("bad -pairs entry %q: budget %q is not a positive number", entry, budget)
+		}
+		p.budget = v
+		s = body
+	}
+	var ok bool
+	p.a, p.b, ok = strings.Cut(s, "=")
+	if !ok || p.a == "" || p.b == "" {
+		return p, fmt.Errorf("bad -pairs entry %q: want [metric:]Name=Baseline[@budget]", entry)
+	}
+	return p, nil
+}
+
+func (p pairSpec) value(b Benchmark) float64 {
+	if p.metric == "allocs" {
+		return b.AllocsPerOp
+	}
+	return b.NsPerOp
+}
+
+// checkPairs enforces same-run ratio contracts parsed from
+// "[metric:]A=B[@budget],...": metric(A)/metric(B) must not exceed the
+// budget (default 1+tolerance).
 func checkPairs(spec string, current []Benchmark, tolerance float64) error {
 	byName := map[string]Benchmark{}
 	for _, b := range current {
 		byName[b.Name] = b
 	}
 	failed := 0
-	for _, pair := range strings.Split(spec, ",") {
-		parts := strings.SplitN(strings.TrimSpace(pair), "=", 2)
-		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
-			return fmt.Errorf("bad -pairs entry %q: want Name=Baseline", pair)
+	for _, entry := range strings.Split(spec, ",") {
+		p, err := parsePair(entry, 1+tolerance)
+		if err != nil {
+			return err
 		}
-		a, okA := byName[parts[0]]
-		base, okB := byName[parts[1]]
+		a, okA := byName[p.a]
+		base, okB := byName[p.b]
 		if !okA || !okB {
-			fmt.Printf("  MISSING   %s=%s: benchmark not in this run\n", parts[0], parts[1])
+			fmt.Printf("  MISSING   %s=%s: benchmark not in this run\n", p.a, p.b)
 			failed++
 			continue
 		}
-		ratio := a.NsPerOp / base.NsPerOp
+		va, vb := p.value(a), p.value(base)
+		unit := "ns/op"
+		if p.metric == "allocs" {
+			unit = "allocs/op"
+		}
+		if vb == 0 {
+			// Ratio is undefined; the contract degenerates to "A must be
+			// zero too" (a zero-alloc baseline gates a zero-alloc subject).
+			status := "ok"
+			if va != 0 {
+				status = "EXCEEDED"
+				failed++
+			}
+			fmt.Printf("  %-9s %s=%v vs zero-%s baseline %s\n", status, p.a, va, unit, p.b)
+			continue
+		}
+		ratio := va / vb
 		status := "ok"
-		if ratio > 1+tolerance {
+		if ratio > p.budget {
 			status = "EXCEEDED"
 			failed++
 		}
-		fmt.Printf("  %-9s %s / %s = %.3f (budget %.3f)\n",
-			status, a.Name, base.Name, ratio, 1+tolerance)
+		fmt.Printf("  %-9s %s / %s = %.3f %s ratio (budget %.3f)\n",
+			status, p.a, p.b, ratio, unit, p.budget)
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d pair(s) exceeded the %.0f%% same-run overhead budget", failed, 100*tolerance)
+		return fmt.Errorf("%d pair(s) exceeded their same-run ratio budget", failed)
 	}
 	return nil
 }

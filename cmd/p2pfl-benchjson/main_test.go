@@ -55,3 +55,44 @@ func TestCheckPairs(t *testing.T) {
 		t.Errorf("ratio < 1 failed: %v", err)
 	}
 }
+
+func TestCheckPairsBudgetAndMetric(t *testing.T) {
+	cur := []Benchmark{
+		{Name: "EncWire", NsPerOp: 400, AllocsPerOp: 0},
+		{Name: "EncGob", NsPerOp: 1000, AllocsPerOp: 50},
+		{Name: "Pooled", NsPerOp: 800, AllocsPerOp: 20},
+		{Name: "Fresh", NsPerOp: 900, AllocsPerOp: 100},
+		{Name: "ZeroBase", NsPerOp: 100, AllocsPerOp: 0},
+	}
+	// Absolute budget: 0.4× passes @0.5, fails @0.3.
+	if err := checkPairs("EncWire=EncGob@0.5", cur, 0.05); err != nil {
+		t.Errorf("0.4 ratio failed a 0.5 budget: %v", err)
+	}
+	if err := checkPairs("EncWire=EncGob@0.3", cur, 0.05); err == nil {
+		t.Error("0.4 ratio passed a 0.3 budget")
+	}
+	// allocs metric: 20/100 = 0.2 passes @0.5; 20/50 = 0.4 fails @0.3.
+	if err := checkPairs("allocs:Pooled=Fresh@0.5", cur, 0.05); err != nil {
+		t.Errorf("0.2 allocs ratio failed a 0.5 budget: %v", err)
+	}
+	if err := checkPairs("allocs:Pooled=EncGob@0.3", cur, 0.05); err == nil {
+		t.Error("0.4 allocs ratio passed a 0.3 budget")
+	}
+	// Metric prefix without budget keeps the default 1+tol ceiling.
+	if err := checkPairs("allocs:EncWire=ZeroBase", cur, 0.05); err != nil {
+		t.Errorf("0 vs 0 allocs failed: %v", err)
+	}
+	if err := checkPairs("allocs:Pooled=ZeroBase", cur, 0.05); err == nil {
+		t.Error("nonzero allocs passed against a zero-alloc baseline")
+	}
+	// Mixed list: one bad entry still fails the whole check.
+	if err := checkPairs("EncWire=EncGob@0.5,allocs:Pooled=EncGob@0.3", cur, 0.05); err == nil {
+		t.Error("list with one exceeded entry passed")
+	}
+	// Malformed variants.
+	for _, bad := range []string{"bytes:EncWire=EncGob", "EncWire=EncGob@", "EncWire=EncGob@-1", "ns:=EncGob"} {
+		if err := checkPairs(bad, cur, 0.05); err == nil {
+			t.Errorf("malformed entry %q passed", bad)
+		}
+	}
+}

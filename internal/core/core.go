@@ -157,6 +157,11 @@ type System struct {
 	counter *transport.Counter
 	rng     *rand.Rand
 	tel     sysTel
+	// scratches[g] is subgroup g's SAC scratch, reused round over round.
+	// One per subgroup keeps Parallel mode safe (a Scratch must not be
+	// shared by concurrent aggregations); the upper layer has its own.
+	scratches    []*sac.Scratch
+	upperScratch *sac.Scratch
 }
 
 // sysTel holds the system's pre-resolved round-lifecycle handles (nil
@@ -199,7 +204,14 @@ func NewSystem(cfg Config, rng *rand.Rand) (*System, error) {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
-	return &System{cfg: cfg, counter: transport.NewCounter(), rng: rng, tel: newSysTel(cfg.Telemetry)}, nil
+	scratches := make([]*sac.Scratch, len(cfg.Sizes))
+	for g := range scratches {
+		scratches[g] = &sac.Scratch{}
+	}
+	return &System{
+		cfg: cfg, counter: transport.NewCounter(), rng: rng, tel: newSysTel(cfg.Telemetry),
+		scratches: scratches, upperScratch: &sac.Scratch{},
+	}, nil
 }
 
 // Config returns the system's configuration.
@@ -327,6 +339,7 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 		cfg := sac.Config{
 			N: size, K: s.cfg.thresholdFor(g, size), Leader: leaders[g], Mode: sac.ModeLeader,
 			Divider: s.cfg.Divider, Rng: rng, Telemetry: s.cfg.Telemetry,
+			Scratch: s.scratches[g],
 		}
 		r, err := sac.Run(mesh, cfg, models[offsets[g]:offsets[g]+size], crash[g])
 		if err == nil {
@@ -502,6 +515,7 @@ func (s *System) secureUpperAverage(res *RoundResult, participate []int, subCoun
 	r, err := sac.Run(mesh, sac.Config{
 		N: len(participate), K: len(participate), Leader: 0, Mode: sac.ModeLeader,
 		Divider: s.cfg.Divider, Rng: s.rng, Telemetry: s.cfg.Telemetry,
+		Scratch: s.upperScratch,
 	}, scaled, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: secure upper layer: %w", err)

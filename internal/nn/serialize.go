@@ -1,14 +1,19 @@
 package nn
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
+
+	"repro/internal/wire"
 )
 
-// checkpoint is the wire format of a model's weights: a schema of
-// parameter names/sizes (to reject mismatched architectures) plus the
-// flat weight vector.
+// checkpoint is the legacy (v1) gob wire format of a model's weights: a
+// schema of parameter names/sizes (to reject mismatched architectures)
+// plus the flat weight vector. Save now writes the wire-codec frame
+// format (internal/wire, DESIGN.md §10); this struct remains so Load
+// can read checkpoints written before the format change.
 type checkpoint struct {
 	Names   []string
 	Sizes   []int
@@ -26,35 +31,76 @@ func (m *Model) schema() ([]string, []int) {
 	return names, sizes
 }
 
-// Save writes the model's weights with gob. The architecture itself is
-// not serialized — loading requires a model built with the same
+// Save writes the model's weights as one wire-codec checkpoint frame
+// (v2 format — length-prefixed binary, ~8 bytes per weight instead of
+// gob's reflective encoding). The architecture itself is not
+// serialized — loading requires a model built with the same
 // constructor (peers in federated learning all share the architecture
-// and exchange only weights).
+// and exchange only weights). Models saved by older builds (gob) are
+// still readable via Load.
 func (m *Model) Save(w io.Writer) error {
 	names, sizes := m.schema()
-	cp := checkpoint{Names: names, Sizes: sizes, Weights: m.WeightVector()}
-	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+	cp := wire.Checkpoint{Names: names, Sizes: sizes, Weights: m.WeightVector()}
+	buf := wire.GetBuffer()
+	defer buf.Release()
+	buf.B = wire.AppendCheckpointFrame(buf.B[:0], cp)
+	if _, err := w.Write(buf.B); err != nil {
 		return fmt.Errorf("nn: save: %w", err)
 	}
 	return nil
 }
 
+// AppendCheckpoint appends the model's current checkpoint as a wire
+// frame to dst — the allocation-free path for senders that ship
+// checkpoints every round into a reused buffer. weights is an optional
+// scratch vector for the flat weights (reused when its capacity
+// suffices); pass nil to allocate.
+func (m *Model) AppendCheckpoint(dst []byte, weights []float64) ([]byte, []float64) {
+	names, sizes := m.schema()
+	if cap(weights) < m.ParamCount() {
+		weights = make([]float64, 0, m.ParamCount())
+	}
+	weights = weights[:0]
+	for _, p := range m.Params() {
+		weights = append(weights, p.W.Data()...)
+	}
+	cp := wire.Checkpoint{Names: names, Sizes: sizes, Weights: weights}
+	return wire.AppendCheckpointFrame(dst, cp), weights
+}
+
 // Load restores weights written by Save into this model, verifying that
-// the parameter schema matches exactly.
+// the parameter schema matches exactly. Both checkpoint formats are
+// accepted: the current wire-codec frames (sniffed by magic) and the
+// legacy gob encoding.
 func (m *Model) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(wire.Magic))
+	if err == nil && string(magic) == wire.Magic {
+		cp, err := wire.ReadCheckpointFrame(br)
+		if err != nil {
+			return fmt.Errorf("nn: load: %w", err)
+		}
+		return m.restore(cp.Names, cp.Sizes, cp.Weights)
+	}
 	var cp checkpoint
-	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+	if err := gob.NewDecoder(br).Decode(&cp); err != nil {
 		return fmt.Errorf("nn: load: %w", err)
 	}
-	names, sizes := m.schema()
-	if len(cp.Names) != len(names) {
-		return fmt.Errorf("nn: load: checkpoint has %d params, model has %d", len(cp.Names), len(names))
+	return m.restore(cp.Names, cp.Sizes, cp.Weights)
+}
+
+// restore validates a decoded checkpoint's schema against the model and
+// installs its weights.
+func (m *Model) restore(names []string, sizes []int, weights []float64) error {
+	wantNames, wantSizes := m.schema()
+	if len(names) != len(wantNames) {
+		return fmt.Errorf("nn: load: checkpoint has %d params, model has %d", len(names), len(wantNames))
 	}
-	for i := range names {
-		if cp.Names[i] != names[i] || cp.Sizes[i] != sizes[i] {
+	for i := range wantNames {
+		if names[i] != wantNames[i] || sizes[i] != wantSizes[i] {
 			return fmt.Errorf("nn: load: param %d is %s[%d], model expects %s[%d]",
-				i, cp.Names[i], cp.Sizes[i], names[i], sizes[i])
+				i, names[i], sizes[i], wantNames[i], wantSizes[i])
 		}
 	}
-	return m.SetWeightVector(cp.Weights)
+	return m.SetWeightVector(weights)
 }

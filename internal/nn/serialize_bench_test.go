@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// The encode benchmarks compare the two checkpoint codecs on a
+// PaperCNN-sized weight vector (CIFAR-10 configuration, ~545k params —
+// the |w| that dominates the paper's cost model). The wire variant is
+// gated at ≤ 0.5× the gob variant's ns/op by cmd/p2pfl-benchjson
+// -pairs 'EncodeModelWire=EncodeModelGob@0.5' in `make bench-check`,
+// and must stay allocation-free at steady state: the frame goes into a
+// reused buffer and the flat weights into a reused scratch vector.
+
+var (
+	encBenchOnce  sync.Once
+	encBenchModel *Model
+)
+
+func encodeBenchModel(b *testing.B) *Model {
+	encBenchOnce.Do(func() {
+		m, err := PaperCNN(3, 32, 10, rand.New(rand.NewSource(11)))
+		if err == nil {
+			encBenchModel = m
+		}
+	})
+	if encBenchModel == nil {
+		b.Fatal("PaperCNN construction failed")
+	}
+	return encBenchModel
+}
+
+func BenchmarkEncodeModelGob(b *testing.B) {
+	m := encodeBenchModel(b)
+	names, sizes := m.schema()
+	cp := checkpoint{Names: names, Sizes: sizes, Weights: m.WeightVector()}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		// A fresh encoder per checkpoint mirrors Save: every stored
+		// checkpoint must be independently decodable, so the type
+		// preamble is paid every time.
+		if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkEncodeModelWire(b *testing.B) {
+	m := encodeBenchModel(b)
+	names, sizes := m.schema()
+	cp := wire.Checkpoint{Names: names, Sizes: sizes, Weights: m.WeightVector()}
+	buf := wire.AppendCheckpointFrame(nil, cp) // size the buffer once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = wire.AppendCheckpointFrame(buf[:0], cp)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkDecodeModelWire covers the receive side: decoding a
+// checkpoint frame of the same model.
+func BenchmarkDecodeModelWire(b *testing.B) {
+	m := encodeBenchModel(b)
+	names, sizes := m.schema()
+	frame := wire.AppendCheckpointFrame(nil, wire.Checkpoint{Names: names, Sizes: sizes, Weights: m.WeightVector()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.DecodeCheckpointPayload(frame[wire.HeaderSize:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(frame)))
+}

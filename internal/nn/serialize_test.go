@@ -2,10 +2,13 @@ package nn
 
 import (
 	"bytes"
+	"encoding/gob"
+	"io"
 	"math/rand"
 	"testing"
 
 	"repro/internal/tensor"
+	"repro/internal/wire"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -58,6 +61,109 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	m := MLP(2, nil, 2, rng)
 	if err := m.Load(bytes.NewBufferString("garbage")); err == nil {
 		t.Fatal("want decode error")
+	}
+}
+
+// legacyGobSave reproduces the pre-wire Save byte for byte: a gob
+// encoding of the checkpoint struct. Old stored checkpoints are exactly
+// this stream.
+func legacyGobSave(t *testing.T, m *Model, w io.Writer) {
+	t.Helper()
+	names, sizes := m.schema()
+	cp := checkpoint{Names: names, Sizes: sizes, Weights: m.WeightVector()}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadLegacyGobCheckpoint is the read-compat contract: checkpoints
+// written by the old gob Save must still load.
+func TestLoadLegacyGobCheckpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := MLP(8, []int{16}, 4, rng)
+	b := MLP(8, []int{16}, 4, rand.New(rand.NewSource(8)))
+	var buf bytes.Buffer
+	legacyGobSave(t, a, &buf)
+	if err := b.Load(&buf); err != nil {
+		t.Fatalf("legacy gob checkpoint rejected: %v", err)
+	}
+	wa, wb := a.WeightVector(), b.WeightVector()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("weights differ after legacy load")
+		}
+	}
+	// Schema validation still applies on the legacy path.
+	var buf2 bytes.Buffer
+	legacyGobSave(t, a, &buf2)
+	c := MLP(8, []int{32}, 4, rng)
+	if err := c.Load(&buf2); err == nil {
+		t.Fatal("legacy load must still reject mismatched architectures")
+	}
+}
+
+// TestGobWireCheckpointEquivalence proves the two formats carry the
+// same information: one model saved through both codecs restores into
+// bit-identical weight vectors.
+func TestGobWireCheckpointEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src, err := TinyCNN(1, 8, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gobBuf, wireBuf bytes.Buffer
+	legacyGobSave(t, src, &gobBuf)
+	if err := src.Save(&wireBuf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.HasPrefix(gobBuf.Bytes(), []byte(wire.Magic)) {
+		t.Fatal("legacy gob stream collides with the wire magic — format sniffing is broken")
+	}
+	if !bytes.HasPrefix(wireBuf.Bytes(), []byte(wire.Magic)) {
+		t.Fatal("Save did not emit a wire frame")
+	}
+	fromGob, err := TinyCNN(1, 8, 3, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromWire, err := TinyCNN(1, 8, 3, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fromGob.Load(&gobBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fromWire.Load(&wireBuf); err != nil {
+		t.Fatal(err)
+	}
+	wg, ww, ws := fromGob.WeightVector(), fromWire.WeightVector(), src.WeightVector()
+	for i := range ws {
+		if wg[i] != ws[i] || ww[i] != ws[i] {
+			t.Fatalf("weight %d: src=%v gob=%v wire=%v", i, ws[i], wg[i], ww[i])
+		}
+	}
+}
+
+// TestAppendCheckpointMatchesSave pins the zero-alloc encode path to
+// the Save format.
+func TestAppendCheckpointMatchesSave(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := MLP(4, []int{8}, 2, rng)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	frame, weights := m.AppendCheckpoint(nil, nil)
+	if !bytes.Equal(frame, buf.Bytes()) {
+		t.Fatal("AppendCheckpoint bytes differ from Save")
+	}
+	// Reuse: same buffers, same bytes, no reallocation of the scratch.
+	frame2, weights2 := m.AppendCheckpoint(frame[:0], weights)
+	if !bytes.Equal(frame2, buf.Bytes()) {
+		t.Fatal("reused AppendCheckpoint bytes differ")
+	}
+	if cap(weights2) != cap(weights) || &weights2[0] != &weights[0] {
+		t.Fatal("AppendCheckpoint did not reuse the weights scratch")
 	}
 }
 

@@ -89,6 +89,12 @@ type Config struct {
 	// Telemetry, when non-nil, receives sac/* counters, per-phase
 	// duration histograms, and one trace event per aggregation.
 	Telemetry *telemetry.Registry
+	// Scratch, when non-nil, lets the engine reuse share blocks,
+	// subtotal vectors and receive containers across same-shaped rounds
+	// instead of reallocating them (see Scratch). Results are
+	// bit-identical either way; payloads observed on the mesh alias
+	// scratch memory, so observers must copy what they retain.
+	Scratch *Scratch
 }
 
 func (c *Config) validate() error {
@@ -147,7 +153,8 @@ func Run(mesh transport.Network, cfg Config, models [][]float64, crash CrashPlan
 		rng = rand.New(rand.NewSource(1))
 	}
 
-	e := &engine{mesh: mesh, cfg: cfg, dim: dim, div: div, rng: rng, crash: crash, tel: newSACTel(cfg.Telemetry)}
+	e := &engine{mesh: mesh, cfg: cfg, dim: dim, div: div, rng: rng, crash: crash, tel: newSACTel(cfg.Telemetry), sc: cfg.Scratch}
+	e.sc.begin(cfg.N, dim)
 	e.tel.roundsStarted.Inc()
 	res, err := e.run(models)
 	if err != nil {
@@ -208,6 +215,7 @@ type engine struct {
 	rng   *rand.Rand
 	crash CrashPlan
 	tel   sacTel
+	sc    *Scratch // nil: allocate per round
 
 	contributors []int
 	// subtotals[peer][shareIdx] — computed by peers holding shareIdx.
@@ -225,9 +233,16 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 
 	// Phase 1 — share exchange (Alg. 2 lines 2–5 / Alg. 4 lines 2–10).
 	// received[j][shareIdx][contributor] = share vector.
-	received := make([]map[int]map[int][]float64, n)
+	received := e.sc.receivedMaps(n)
+	// Replica assignment depends only on (n, k) — compute each
+	// receiver's share indices once, not once per contributor.
+	replicas := make([][]int, n)
 	for j := 0; j < n; j++ {
-		received[j] = make(map[int]map[int][]float64)
+		idx, err := secretshare.ReplicaIndices(j, n, k)
+		if err != nil {
+			return nil, err
+		}
+		replicas[j] = idx
 	}
 	var sharesSent int64 // batched into one atomic Add below
 	for i := 0; i < n; i++ {
@@ -241,17 +256,13 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 			e.tel.peersCrashed.Inc()
 			continue
 		}
-		shares, err := e.div.Divide(models[i], n, e.rng)
+		shares, err := e.divide(i, models[i], n)
 		if err != nil {
 			return nil, err
 		}
 		e.contributors = append(e.contributors, i)
 		for j := 0; j < n; j++ {
-			idx, err := secretshare.ReplicaIndices(j, n, k)
-			if err != nil {
-				return nil, err
-			}
-			for _, s := range idx {
+			for _, s := range replicas[j] {
 				if j == i {
 					// Local retention — no traffic.
 					e.store(received, j, s, i, shares[s])
@@ -305,7 +316,7 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 	// Phase 2 — subtotal computation (Alg. 2 line 6 / Alg. 4 lines 11–13).
 	// A peer that crashes AfterShares has distributed its shares (so its
 	// model still counts) but computes/sends nothing further.
-	e.subtotals = make([]map[int][]float64, n)
+	e.subtotals = e.sc.subtotalSlice(n)
 	for j := 0; j < n; j++ {
 		if !e.mesh.Alive(j) {
 			continue
@@ -317,9 +328,9 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 			e.tel.peersCrashed.Inc()
 			continue
 		}
-		e.subtotals[j] = make(map[int][]float64)
+		e.subtotals[j] = e.sc.innerMap()
 		for s, byContrib := range received[j] {
-			sub := make([]float64, e.dim)
+			sub := e.sc.subVec(e.dim)
 			complete := true
 			for _, c := range e.contributors {
 				sh, ok := byContrib[c]
@@ -375,10 +386,26 @@ func (e *engine) validSubtotal(m transport.Message) bool {
 func (e *engine) store(received []map[int]map[int][]float64, peer, shareIdx, contributor int, share []float64) {
 	byContrib, ok := received[peer][shareIdx]
 	if !ok {
-		byContrib = make(map[int][]float64)
+		byContrib = e.sc.innerMap()
 		received[peer][shareIdx] = byContrib
 	}
 	byContrib[contributor] = share
+}
+
+// divide splits contributor i's model into n shares — through the
+// flat-block scratch when one is configured, so steady-state rounds
+// reuse the same n·dim backing array per contributor.
+func (e *engine) divide(i int, w []float64, n int) ([][]float64, error) {
+	if e.sc == nil {
+		return e.div.Divide(w, n, e.rng)
+	}
+	block, views := e.sc.shareScratch(i)
+	shares, block, err := e.div.DivideInto(w, n, e.rng, block, views)
+	if err != nil {
+		return nil, err
+	}
+	e.sc.keepShareScratch(i, block, shares)
+	return shares, nil
 }
 
 // finishBroadcast implements Alg. 2 lines 7–9: every peer broadcasts its
@@ -416,7 +443,8 @@ func (e *engine) finishBroadcast() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		got := map[int][]float64{j: e.subtotals[j][j]}
+		got := e.sc.innerMap()
+		got[j] = e.subtotals[j][j]
 		for _, m := range msgs {
 			if e.validSubtotal(m) {
 				got[m.ShareIdx] = m.Payload
@@ -443,7 +471,7 @@ func (e *engine) finishLeader() (*Result, error) {
 	if !e.mesh.Alive(leader) || e.subtotals[leader] == nil {
 		return nil, ErrLeaderCrashed
 	}
-	have := make(map[int][]float64, n)
+	have := e.sc.haveMap(n)
 	for s, sub := range e.subtotals[leader] {
 		have[s] = sub
 	}
@@ -512,8 +540,10 @@ func (e *engine) finishLeader() (*Result, error) {
 // models (Eq. 1–3 generalized to dropouts). Summation runs in ascending
 // share-index order so results are bit-for-bit deterministic (map order
 // would reorder floating-point additions).
+// Avg is always freshly allocated — it is the one vector that escapes
+// the round, so it must not alias reusable scratch.
 func (e *engine) average(subtotals map[int][]float64) []float64 {
-	keys := make([]int, 0, len(subtotals))
+	keys := e.sc.sortKeys(len(subtotals))
 	for k := range subtotals {
 		keys = append(keys, k)
 	}

@@ -25,8 +25,34 @@ import (
 type Divider interface {
 	// Divide returns n share vectors whose elementwise sum is w.
 	Divide(w []float64, n int, rng *rand.Rand) ([][]float64, error)
+	// DivideInto is Divide with caller-owned scratch: all n shares are
+	// written into one flat block (regrown only when too small) and the
+	// returned views are slices of it, one per share. It returns the
+	// views, the backing block (hand both back on the next call to
+	// reuse them), and an error. Given the same rng state it produces
+	// bit-identical shares to Divide.
+	DivideInto(w []float64, n int, rng *rand.Rand, block []float64, views [][]float64) ([][]float64, []float64, error)
 	// Name identifies the scheme for logs and benchmarks.
 	Name() string
+}
+
+// sliceBlock carves an n×dim flat block into n full-capacity views.
+// Both scratch arguments are reused when large enough. Views are
+// capacity-clipped so an append through one share cannot corrupt its
+// neighbour.
+func sliceBlock(block []float64, views [][]float64, n, dim int) ([]float64, [][]float64) {
+	if cap(block) < n*dim {
+		block = make([]float64, n*dim)
+	}
+	block = block[:n*dim]
+	if cap(views) < n {
+		views = make([][]float64, n)
+	}
+	views = views[:n]
+	for i := range views {
+		views[i] = block[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return block, views
 }
 
 // ScalarDivider is the paper's Alg. 1: draw n random numbers rn_i from
@@ -38,10 +64,17 @@ type ScalarDivider struct{}
 // Name implements Divider.
 func (ScalarDivider) Name() string { return "scalar (Alg. 1)" }
 
-// Divide implements Divider.
-func (ScalarDivider) Divide(w []float64, n int, rng *rand.Rand) ([][]float64, error) {
+// Divide implements Divider. All n shares live in one backing array —
+// one bulk allocation instead of n per-share ones.
+func (d ScalarDivider) Divide(w []float64, n int, rng *rand.Rand) ([][]float64, error) {
+	shares, _, err := d.DivideInto(w, n, rng, nil, nil)
+	return shares, err
+}
+
+// DivideInto implements Divider.
+func (ScalarDivider) DivideInto(w []float64, n int, rng *rand.Rand, block []float64, views [][]float64) ([][]float64, []float64, error) {
 	if err := checkDivide(w, n); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rn := make([]float64, n)
 	sum := 0.0
@@ -50,16 +83,14 @@ func (ScalarDivider) Divide(w []float64, n int, rng *rand.Rand) ([][]float64, er
 		rn[i] = 1 - rng.Float64()
 		sum += rn[i]
 	}
-	shares := make([][]float64, n)
-	for i := range shares {
+	block, shares := sliceBlock(block, views, n, len(w))
+	for i, s := range shares {
 		f := rn[i] / sum
-		s := make([]float64, len(w))
 		for j, v := range w {
 			s[j] = f * v
 		}
-		shares[i] = s
 	}
-	return shares, nil
+	return shares, block, nil
 }
 
 // MaskDivider is standard additive secret sharing: shares 0..n−2 are
@@ -73,29 +104,34 @@ type MaskDivider struct {
 // Name implements Divider.
 func (m MaskDivider) Name() string { return "mask (uniform additive)" }
 
-// Divide implements Divider.
+// Divide implements Divider. All n shares live in one backing array —
+// one bulk allocation instead of n per-share ones.
 func (m MaskDivider) Divide(w []float64, n int, rng *rand.Rand) ([][]float64, error) {
+	shares, _, err := m.DivideInto(w, n, rng, nil, nil)
+	return shares, err
+}
+
+// DivideInto implements Divider.
+func (m MaskDivider) DivideInto(w []float64, n int, rng *rand.Rand, block []float64, views [][]float64) ([][]float64, []float64, error) {
 	if err := checkDivide(w, n); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	scale := m.Scale
 	if scale == 0 {
 		scale = 1
 	}
-	shares := make([][]float64, n)
-	last := make([]float64, len(w))
+	block, shares := sliceBlock(block, views, n, len(w))
+	last := shares[n-1]
 	copy(last, w)
 	for i := 0; i < n-1; i++ {
-		s := make([]float64, len(w))
+		s := shares[i]
 		for j := range s {
 			r := (rng.Float64()*2 - 1) * scale
 			s[j] = r
 			last[j] -= r
 		}
-		shares[i] = s
 	}
-	shares[n-1] = last
-	return shares, nil
+	return shares, block, nil
 }
 
 func checkDivide(w []float64, n int) error {

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/raft"
+	"repro/internal/wire"
 )
 
 // Time is virtual time in microseconds since simulation start.
@@ -150,6 +151,17 @@ type Group struct {
 
 	rng   *rand.Rand
 	hosts map[uint64]*Host
+
+	// Traffic accounting, in exact wire-codec frame bytes
+	// (wire.RaftFrameSize) so simulated byte counts line up with what
+	// the RaftTCP transport would put on a real socket. Offered counts
+	// every message a host handed to the network; dropped counts the
+	// subset lost to partitions, filters and random loss (the sender
+	// cannot tell, so its bytes are offered either way).
+	offeredMsgs  int64
+	offeredBytes int64
+	droppedMsgs  int64
+	droppedBytes int64
 }
 
 // NewGroup creates a consensus group on sim with the given one-way
@@ -343,14 +355,35 @@ func (g *Group) Calm() {
 	g.Jitter = 0
 }
 
+// OfferedTraffic returns the number of messages hosts handed to the
+// network and their total wire-frame bytes.
+func (g *Group) OfferedTraffic() (msgs, bytes int64) {
+	return g.offeredMsgs, g.offeredBytes
+}
+
+// DroppedTraffic returns the messages (and wire-frame bytes) lost to
+// partitions, filters and random loss before delivery was scheduled.
+func (g *Group) DroppedTraffic() (msgs, bytes int64) {
+	return g.droppedMsgs, g.droppedBytes
+}
+
 func (g *Group) deliver(m raft.Message) {
+	frame := int64(wire.RaftFrameSize(m))
+	g.offeredMsgs++
+	g.offeredBytes += frame
 	if g.LinkFilter != nil && !g.LinkFilter(m.From, m.To) {
+		g.droppedMsgs++
+		g.droppedBytes += frame
 		return
 	}
 	if g.DropFilter != nil && g.DropFilter(m) {
+		g.droppedMsgs++
+		g.droppedBytes += frame
 		return
 	}
 	if g.LossRate > 0 && g.rng.Float64() < g.LossRate {
+		g.droppedMsgs++
+		g.droppedBytes += frame
 		return
 	}
 	delay := g.Latency

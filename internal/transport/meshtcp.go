@@ -2,10 +2,11 @@ package transport
 
 import (
 	"bufio"
-	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
+
+	"repro/internal/wire"
 )
 
 // Compile-time checks: both fabrics implement Network.
@@ -15,13 +16,16 @@ var (
 )
 
 // TCPMesh is a Network whose messages travel over real TCP sockets (one
-// loopback listener per peer). Send is synchronous: it blocks until the
-// receiver has decoded the message into its inbox and acknowledged it,
-// preserving the round-synchronous semantics the SAC engines rely on.
+// loopback listener per peer) in wire-codec frames. Send is synchronous:
+// it blocks until the receiver has decoded the message into its inbox
+// and acknowledged it, preserving the round-synchronous semantics the
+// SAC engines rely on.
 //
 // The protocol logic is identical to the in-memory Mesh; this fabric
 // exists to demonstrate the aggregation running over an actual network
-// stack (the paper's system used gRPC between layers).
+// stack (the paper's system used gRPC between layers). The traffic
+// counter still records the paper's cost unit 8·dim per payload, so the
+// closed-form checks hold over sockets too.
 type TCPMesh struct {
 	mu        sync.Mutex
 	n         int
@@ -39,7 +43,7 @@ type TCPMesh struct {
 
 type tcpConn struct {
 	c   net.Conn
-	enc *gob.Encoder
+	buf []byte // reused wire frame encode buffer
 	br  *bufio.Reader
 }
 
@@ -90,13 +94,16 @@ func (m *TCPMesh) acceptLoop(peer int, ln net.Listener) {
 func (m *TCPMesh) serveConn(peer int, conn net.Conn) {
 	defer m.wg.Done()
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
+	var scratch []byte
 	for {
-		var msg Message
-		if err := dec.Decode(&msg); err != nil {
+		var wm wire.MeshMessage
+		var err error
+		if wm, scratch, err = wire.ReadMeshFrame(br, scratch); err != nil {
 			return
 		}
+		msg := Message{From: wm.From, To: wm.To, Kind: wm.Kind, ShareIdx: wm.ShareIdx, Payload: wm.Payload}
 		m.mu.Lock()
 		if !m.crashed[peer] {
 			m.inboxes[peer] = append(m.inboxes[peer], msg)
@@ -183,7 +190,10 @@ func (m *TCPMesh) Send(msg Message) error {
 		}
 		return err
 	}
-	if err := conn.enc.Encode(msg); err != nil {
+	conn.buf = wire.AppendMeshFrame(conn.buf[:0], wire.MeshMessage{
+		From: msg.From, To: msg.To, Kind: msg.Kind, ShareIdx: msg.ShareIdx, Payload: msg.Payload,
+	})
+	if _, err := conn.c.Write(conn.buf); err != nil {
 		m.dropConn(msg.To)
 		if !m.Alive(msg.To) {
 			return nil
@@ -213,7 +223,7 @@ func (m *TCPMesh) dial(to int) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: tcp dial %s: %w", addr, err)
 	}
-	c := &tcpConn{c: raw, enc: gob.NewEncoder(raw), br: bufio.NewReader(raw)}
+	c := &tcpConn{c: raw, br: bufio.NewReader(raw)}
 	m.mu.Lock()
 	m.conns[to] = c
 	m.mu.Unlock()

@@ -1,8 +1,6 @@
 package transport
 
 import (
-	"bytes"
-	"encoding/gob"
 	"net"
 	"sort"
 	"sync"
@@ -10,37 +8,34 @@ import (
 	"time"
 
 	"repro/internal/raft"
+	"repro/internal/wire"
 )
 
 // syncSender replicates the pre-async transport's happy path — one
-// shared mutex, gob encode straight onto the connection — as the
-// baseline for the overhead contract: the per-peer queue+goroutine
+// shared mutex, a wire-frame encode straight onto the connection — as
+// the baseline for the overhead contract: the per-peer queue+goroutine
 // design must not cost the healthy path more than 5% (checked by
 // cmd/p2pfl-benchjson -pairs
-// 'RaftTCPSendHealthyPeerAsync=RaftTCPSendHealthyPeerSync').
+// 'RaftTCPSendHealthyPeerAsync=RaftTCPSendHealthyPeerSync'). It uses
+// the same codec as the real sender so the pair isolates the queue
+// design, not the serialization format.
 type syncSender struct {
 	mu      sync.Mutex
 	conn    net.Conn
-	enc     *gob.Encoder
-	buf     bytes.Buffer
+	buf     []byte
 	counter *Counter
 }
 
 func newSyncSender(conn net.Conn) *syncSender {
-	s := &syncSender{conn: conn, counter: NewCounter()}
-	s.enc = gob.NewEncoder(&s.buf)
-	return s
+	return &syncSender{conn: conn, counter: NewCounter()}
 }
 
 func (s *syncSender) send(m raft.Message) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.buf.Reset()
-	if err := s.enc.Encode(m); err != nil {
-		return err
-	}
-	s.counter.Record("raft/"+m.Type.String(), int64(s.buf.Len()))
-	_, err := s.conn.Write(s.buf.Bytes())
+	s.buf = wire.AppendRaftFrame(s.buf[:0], m)
+	s.counter.Record("raft/"+m.Type.String(), int64(len(s.buf)))
+	_, err := s.conn.Write(s.buf)
 	return err
 }
 
@@ -151,7 +146,7 @@ func measureTCPSendHealthy(b *testing.B) {
 		syncTr := newSyncSender(conn)
 		asyncBench := &senderBench{send: asyncTr.Send, acks: acks, msg: msg}
 		syncBench := &senderBench{send: syncTr.send, acks: acks, msg: msg}
-		asyncBench.slice(b, sendMsgsPerSlice*2) // warm: conns dialed, gob types exchanged
+		asyncBench.slice(b, sendMsgsPerSlice*2) // warm: conns dialed, buffers grown
 		syncBench.slice(b, sendMsgsPerSlice*2)
 		for s := 0; s < sendBlockRounds; s++ {
 			a := asyncBench.slice(b, sendMsgsPerSlice)

@@ -1,8 +1,7 @@
 package transport
 
 import (
-	"bytes"
-	"encoding/gob"
+	"bufio"
 	"fmt"
 	"net"
 	"sort"
@@ -12,6 +11,7 @@ import (
 
 	"repro/internal/raft"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 // Tunables for the per-peer sender machinery. Raft tolerates message
@@ -21,6 +21,13 @@ import (
 const (
 	// senderQueueCap bounds each peer's outbound queue.
 	senderQueueCap = 512
+	// senderBatchBytes caps how many frame bytes one sender iteration
+	// coalesces into a single conn.Write. Bursts (entry batches,
+	// heartbeat fan-out behind a slow write) flush in one syscall
+	// instead of one per message; the cap bounds the encode buffer a
+	// sender goroutine can pin. Sized to swallow a full append burst of
+	// large model-update entries (tens of 16 KB frames) in one write.
+	senderBatchBytes = 1 << 20
 	// dialTimeout caps one connection attempt. It only ever delays the
 	// dead peer's own sender goroutine, never other peers or Send.
 	dialTimeout = 500 * time.Millisecond
@@ -86,15 +93,20 @@ type raftTel struct {
 	circuitDowns *telemetry.Counter
 }
 
-// RaftTCP moves raft.Messages between real processes over TCP with gob
-// encoding — the real-time counterpart of the discrete-event simulator,
-// used by cmd/p2pfl-node. Each peer gets its own sender goroutine with
-// a bounded outbound queue, so Send never blocks and a dead peer's dial
+// RaftTCP moves raft.Messages between real processes over TCP in the
+// wire codec's length-prefixed binary frames (internal/wire) — the
+// real-time counterpart of the discrete-event simulator, used by
+// cmd/p2pfl-node. Each peer gets its own sender goroutine with a
+// bounded outbound queue, so Send never blocks and a dead peer's dial
 // timeout cannot head-of-line block traffic to healthy peers. Dials
 // back off exponentially (capped, deterministically jittered) and each
 // peer carries a circuit state (up → suspect → down → probing) exposed
 // for the health layer. Inbound messages fan into a single receive
-// channel; per-message byte counts are exact gob-encoded sizes.
+// channel; per-message byte counts are exact frame sizes. Frames are
+// stateless (no gob-style per-stream type preamble), so the first
+// message after a reconnect costs exactly as many bytes as any other,
+// and queued bursts coalesce into a single write without any framing
+// ambiguity at the receiver.
 type RaftTCP struct {
 	id uint64
 
@@ -228,10 +240,12 @@ func (t *RaftTCP) readLoop(conn net.Conn) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReader(conn)
+	var scratch []byte // payload read buffer, reused frame to frame
 	for {
 		var m raft.Message
-		if err := dec.Decode(&m); err != nil {
+		var err error
+		if m, scratch, err = wire.ReadRaftFrame(br, scratch); err != nil {
 			return
 		}
 		t.tel.Load().msgsReceived.Inc()
@@ -387,10 +401,10 @@ func (s *peerSender) onFailure(failures int) {
 
 func (s *peerSender) loop() {
 	defer s.t.wg.Done()
+	buf := wire.GetBuffer() // reused frame encode buffer
+	defer buf.Release()
 	var (
 		conn     net.Conn
-		enc      *gob.Encoder
-		buf      bytes.Buffer
 		failures int
 		nextDial time.Time
 	)
@@ -398,7 +412,6 @@ func (s *peerSender) loop() {
 		if conn != nil {
 			conn.Close()
 			conn = nil
-			enc = nil
 		}
 	}
 	defer closeConn()
@@ -435,29 +448,38 @@ func (s *peerSender) loop() {
 					continue
 				}
 				conn = c
-				enc = gob.NewEncoder(&buf) // fresh stream: type info is resent
 				failures = 0
 				nextDial = time.Time{}
 				s.setState(CircuitUp)
 			}
-			buf.Reset()
-			if err := enc.Encode(m); err != nil {
-				closeConn()
-				failures++
-				s.onFailure(failures)
-				nextDial = time.Now().Add(backoffFor(s.id, failures))
-				s.drop()
-				continue
-			}
-			// Record the exact encoded size BEFORE the bytes hit the wire,
+			// Record each exact frame size BEFORE the bytes hit the wire,
 			// so a receiver can never observe a message the sender's counter
 			// has not yet accounted for.
-			n := int64(buf.Len())
-			s.t.counter.Record("raft/"+m.Type.String(), n)
 			tel := s.t.tel.Load()
-			tel.msgsSent.Inc()
-			tel.bytesSent.Add(n)
-			if _, err := conn.Write(buf.Bytes()); err != nil {
+			record := func(m raft.Message, frameBytes int64) {
+				s.t.counter.Record("raft/"+m.Type.String(), frameBytes)
+				tel.msgsSent.Inc()
+				tel.bytesSent.Add(frameBytes)
+			}
+			buf.B = wire.AppendRaftFrame(buf.B[:0], m)
+			record(m, int64(len(buf.B)))
+			// Coalesce whatever else is already queued into the same
+			// write: frames are stateless, so back-to-back frames in one
+			// syscall are indistinguishable from separate writes to the
+			// receiver, and a burst costs one syscall instead of one per
+			// message.
+		coalesce:
+			for len(buf.B) < senderBatchBytes {
+				select {
+				case m2 := <-s.ch:
+					start := len(buf.B)
+					buf.B = wire.AppendRaftFrame(buf.B, m2)
+					record(m2, int64(len(buf.B)-start))
+				default:
+					break coalesce
+				}
+			}
+			if _, err := conn.Write(buf.B); err != nil {
 				closeConn()
 				failures++
 				s.onFailure(failures)

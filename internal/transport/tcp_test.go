@@ -1,8 +1,6 @@
 package transport
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -12,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/raft"
+	"repro/internal/wire"
 )
 
 // newPair starts two transports on loopback with dynamic ports.
@@ -213,8 +212,9 @@ func TestTCPHeadOfLineBlocking(t *testing.T) {
 }
 
 // TestTCPExactByteAccounting checks the counter records real encoded
-// sizes: replaying the same messages through a local gob stream with
-// identical framing must reproduce the transport's byte total exactly.
+// sizes: the transport's byte total must equal the sum of the wire
+// codec's frame sizes for the same messages — computable without
+// encoding, which is what makes exact accounting free.
 func TestTCPExactByteAccounting(t *testing.T) {
 	t1, t2 := newPair(t)
 	msgs := []raft.Message{
@@ -224,32 +224,90 @@ func TestTCPExactByteAccounting(t *testing.T) {
 		{Type: raft.MsgAppend, From: 1, To: 2, Term: 4,
 			Entries: []raft.Entry{{Index: 2, Term: 4}, {Index: 3, Term: 4, Data: make([]byte, 100)}}},
 	}
+	var want int64
 	for _, m := range msgs {
 		if err := t1.Send(m); err != nil {
 			t.Fatal(err)
 		}
+		want += int64(wire.RaftFrameSize(m))
 	}
 	for range msgs {
 		recvWithTimeout(t, t2.Recv())
 	}
-	// Reference stream: one encoder (type info only on the first
-	// message), per-message sizes read off the buffer, as the sender
-	// frames them.
-	var buf bytes.Buffer
-	enc := gob.NewEncoder(&buf)
-	var want int64
-	for _, m := range msgs {
-		buf.Reset()
-		if err := enc.Encode(m); err != nil {
-			t.Fatal(err)
-		}
-		want += int64(buf.Len())
-	}
 	if got := t1.Counter().TotalBytes(); got != want {
-		t.Fatalf("counted %d bytes, want exact gob size %d", got, want)
+		t.Fatalf("counted %d bytes, want exact wire frame size %d", got, want)
 	}
 	if got := t1.Counter().TotalMessages(); got != int64(len(msgs)) {
 		t.Fatalf("counted %d messages, want %d", got, len(msgs))
+	}
+}
+
+// TestTCPReconnectNoStreamWarmupTax is the regression contract for the
+// reconnect cost fix: with per-connection gob encoders, every redial
+// resent the stream's type preamble, so the first message after a
+// reconnect cost more bytes than steady state. Wire frames are
+// stateless — the first frame on a fresh connection must cost exactly
+// as many bytes as the same message at steady state.
+func TestTCPReconnectNoStreamWarmupTax(t *testing.T) {
+	t1, t2 := newPair(t)
+	msg := raft.Message{Type: raft.MsgAppend, From: 1, To: 2, Term: 3,
+		Entries: []raft.Entry{{Index: 1, Term: 3, Data: []byte("weights")}}, Commit: 1}
+
+	perMessage := func() int64 {
+		before := t1.Counter().TotalBytes()
+		if err := t1.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		recvWithTimeout(t, t2.Recv())
+		return t1.Counter().TotalBytes() - before
+	}
+
+	first := perMessage() // first message ever: fresh connection
+	var steady int64
+	for i := 0; i < 5; i++ {
+		steady = perMessage()
+		if steady != first {
+			t.Fatalf("steady-state message cost %d bytes, first message cost %d", steady, first)
+		}
+	}
+
+	// Restart peer 2 so the sender must redial, then compare the first
+	// post-reconnect message's bytes against steady state.
+	t2.Close()
+	t2b, err := NewRaftTCP(2, map[uint64]string{1: t1.Addr(), 2: "127.0.0.1:0"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2b.Close()
+	t1.RegisterAddr(2, t2b.Addr())
+
+	// The stale connection may eat one send; poll until a message gets
+	// through, then measure the NEXT delivered message cleanly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no delivery after reconnect")
+		}
+		if err := t1.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		received := false
+		select {
+		case <-t2b.Recv():
+			received = true
+		case <-time.After(100 * time.Millisecond):
+		}
+		if received {
+			break
+		}
+	}
+	before := t1.Counter().TotalBytes()
+	if err := t1.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	recvWithTimeout(t, t2b.Recv())
+	if got := t1.Counter().TotalBytes() - before; got != steady {
+		t.Fatalf("first message after reconnect cost %d bytes, steady state costs %d (stream warmup tax)", got, steady)
 	}
 }
 

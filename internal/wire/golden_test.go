@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/raft"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden wire frames")
+
+// goldenFrames are the cross-version compatibility contract: these
+// exact byte sequences are what version 1 of the format means. If an
+// encoder change alters any of them, that change broke every stored
+// checkpoint and every mixed-version deployment — bump Version and add
+// a new golden set instead of regenerating these.
+func goldenFrames() map[string][]byte {
+	raftMsg := raft.Message{
+		Type: raft.MsgAppend, From: 1, To: 2, Term: 7,
+		PrevLogIndex: 10, PrevLogTerm: 6, Commit: 9,
+		Entries: []raft.Entry{
+			{Index: 11, Term: 7, Type: raft.EntryNormal, Data: []byte("model-weights")},
+			{Index: 12, Term: 7, Type: raft.EntryNoop},
+		},
+	}
+	snapMsg := raft.Message{
+		Type: raft.MsgSnapshot, From: 3, To: 1, Term: 9,
+		Snapshot: &raft.Snapshot{Index: 20, Term: 8, Peers: []uint64{1, 2, 3}, Data: []byte("state")},
+	}
+	mesh := MeshMessage{
+		From: 0, To: 4, Kind: "sac/share", ShareIdx: 2,
+		Payload: []float64{1.0, -0.5, 0.25, 1e-12, 3.14159265358979},
+	}
+	cp := Checkpoint{
+		Names:   []string{"conv0/W", "conv0/b", "dense1/W"},
+		Sizes:   []int{3, 2, 4},
+		Weights: []float64{0.1, -0.2, 0.3, 0.4, -0.5, 1.5, -2.5, 0.75, 0.125},
+	}
+	return map[string][]byte{
+		"raft_append_v1.wire":   AppendRaftFrame(nil, raftMsg),
+		"raft_snapshot_v1.wire": AppendRaftFrame(nil, snapMsg),
+		"mesh_share_v1.wire":    AppendMeshFrame(nil, mesh),
+		"checkpoint_v1.wire":    AppendCheckpointFrame(nil, cp),
+	}
+}
+
+func TestGoldenWireFiles(t *testing.T) {
+	for name, frame := range goldenFrames() {
+		path := filepath.Join("testdata", name)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, frame, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run `go test ./internal/wire -run Golden -update` after an intentional format change)", name, err)
+		}
+		if !bytes.Equal(frame, want) {
+			t.Errorf("%s: encoder output drifted from the v1 golden frame.\n got  % x\n want % x\n"+
+				"This is a wire-format break: bump wire.Version instead of regenerating goldens.",
+				name, frame, want)
+		}
+		// The checked-in frame must also still decode to the same value
+		// the current encoder produces it from (decoder compatibility).
+		kind, n, err := ParseHeader(want)
+		if err != nil {
+			t.Fatalf("%s: golden header: %v", name, err)
+		}
+		if n != len(want)-HeaderSize {
+			t.Fatalf("%s: golden payload length %d, frame has %d", name, n, len(want)-HeaderSize)
+		}
+		switch kind {
+		case KindRaft:
+			m, err := DecodeRaftPayload(want[HeaderSize:])
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if re := AppendRaftFrame(nil, m); !bytes.Equal(re, want) {
+				t.Errorf("%s: decode→re-encode not byte-identical", name)
+			}
+		case KindMesh:
+			m, err := DecodeMeshPayload(want[HeaderSize:])
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if re := AppendMeshFrame(nil, m); !bytes.Equal(re, want) {
+				t.Errorf("%s: decode→re-encode not byte-identical", name)
+			}
+		case KindCheckpoint:
+			cp, err := DecodeCheckpointPayload(want[HeaderSize:])
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if re := AppendCheckpointFrame(nil, cp); !bytes.Equal(re, want) {
+				t.Errorf("%s: decode→re-encode not byte-identical", name)
+			}
+		}
+	}
+}
+
+// TestGoldenDecodeValues pins the decoded VALUES of the golden frames,
+// not just their bytes: a decoder regression that still re-encodes
+// consistently (e.g. swapped field order in both directions) would pass
+// the byte check but corrupt every stored artifact.
+func TestGoldenDecodeValues(t *testing.T) {
+	if *updateGolden {
+		t.Skip("updating goldens")
+	}
+	b, err := os.ReadFile(filepath.Join("testdata", "checkpoint_v1.wire"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpointFrame(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Checkpoint{
+		Names:   []string{"conv0/W", "conv0/b", "dense1/W"},
+		Sizes:   []int{3, 2, 4},
+		Weights: []float64{0.1, -0.2, 0.3, 0.4, -0.5, 1.5, -2.5, 0.75, 0.125},
+	}
+	if !reflect.DeepEqual(cp, want) {
+		t.Fatalf("golden checkpoint decoded to %+v", cp)
+	}
+}

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+)
+
+// Mesh payload layout (inside a KindMesh frame), version 1 — one SAC
+// mesh message (share, subtotal, recovery request/response):
+//
+//	from      i64 (two's complement in a u64 word)
+//	to        i64
+//	shareIdx  i64
+//	kind      string (u32 length + bytes)
+//	payload   float64 vector (u32 count + count·8 bytes LE)
+//
+// MeshMessage mirrors transport.Message field for field; the transport
+// package converts (it imports wire, so wire cannot import it back).
+type MeshMessage struct {
+	From, To int
+	Kind     string
+	ShareIdx int
+	Payload  []float64
+}
+
+// MeshPayloadSize returns the exact encoded payload size of a mesh
+// message with the given kind string and payload element count.
+func MeshPayloadSize(kind string, payloadLen int) int {
+	return 3*8 + 4 + len(kind) + Float64sSize(payloadLen)
+}
+
+// MeshFrameSize returns the exact on-wire frame size, header included.
+func MeshFrameSize(kind string, payloadLen int) int {
+	return HeaderSize + MeshPayloadSize(kind, payloadLen)
+}
+
+// AppendMeshFrame appends a complete frame for one mesh message.
+func AppendMeshFrame(dst []byte, m MeshMessage) []byte {
+	dst = AppendHeader(dst, KindMesh, MeshPayloadSize(m.Kind, len(m.Payload)))
+	dst = appendUint64(dst, uint64(int64(m.From)))
+	dst = appendUint64(dst, uint64(int64(m.To)))
+	dst = appendUint64(dst, uint64(int64(m.ShareIdx)))
+	dst = appendString(dst, m.Kind)
+	return AppendFloat64s(dst, m.Payload)
+}
+
+// DecodeMeshPayload decodes a KindMesh payload. The kind string and
+// payload vector are copied out of b.
+func DecodeMeshPayload(b []byte) (MeshMessage, error) {
+	var m MeshMessage
+	u, b, err := readUint64(b)
+	if err != nil {
+		return m, err
+	}
+	m.From = int(int64(u))
+	if u, b, err = readUint64(b); err != nil {
+		return m, err
+	}
+	m.To = int(int64(u))
+	if u, b, err = readUint64(b); err != nil {
+		return m, err
+	}
+	m.ShareIdx = int(int64(u))
+	if m.Kind, b, err = readString(b); err != nil {
+		return m, err
+	}
+	if m.Payload, b, err = ReadFloat64s(b, nil); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, fmt.Errorf("%w: %d trailing bytes after mesh payload", ErrBadFrame, len(b))
+	}
+	return m, nil
+}
+
+// ReadMeshFrame reads one complete mesh frame from r, reusing scratch
+// as the payload read buffer.
+func ReadMeshFrame(r io.Reader, scratch []byte) (MeshMessage, []byte, error) {
+	kind, payload, scratch, err := readFrame(r, scratch)
+	if err != nil {
+		return MeshMessage{}, scratch, err
+	}
+	if kind != KindMesh {
+		return MeshMessage{}, scratch, fmt.Errorf("%w: kind %d, want mesh", ErrBadFrame, kind)
+	}
+	m, err := DecodeMeshPayload(payload)
+	return m, scratch, err
+}

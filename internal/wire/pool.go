@@ -1,0 +1,26 @@
+package wire
+
+import "sync"
+
+// bufPool recycles encode buffers. Buffers grow to the largest frame
+// they ever carried and stay that size, so a steady-state sender
+// (encoding the same model dimension round after round) allocates
+// nothing per message.
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 512)} }}
+
+// Buffer is a pooled byte slice for frame encoding. Get one with
+// GetBuffer, append frames into B, and Release it when the bytes have
+// been written out. The slice must not be retained after Release.
+type Buffer struct {
+	B []byte
+}
+
+// GetBuffer returns an empty pooled buffer.
+func GetBuffer() *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// Release returns the buffer to the pool.
+func (b *Buffer) Release() { bufPool.Put(b) }

@@ -1,0 +1,211 @@
+// Package wire is the dependency-free binary codec for the hot payload
+// shapes the system moves between processes: raft messages (with entry
+// batches and snapshots), SAC share/subtotal vectors, and nn model
+// checkpoints. It replaces encoding/gob on every wire path where the
+// paper's cost model says the bytes matter — model-dimension float
+// vectors dominate per-round traffic (Sec. VI-B3), and gob's reflective
+// encoder plus per-stream type preamble are pure tax on top of them.
+//
+// Every payload travels in one self-describing frame:
+//
+//	offset  size  field
+//	0       4     magic "P2FW"
+//	4       1     format version (currently 1)
+//	5       1     payload kind (KindRaft | KindMesh | KindCheckpoint)
+//	6       2     reserved, must be zero
+//	8       4     payload length in bytes, uint32 little-endian
+//	12      ...   payload (kind-specific layout, see raft.go/mesh.go/
+//	              checkpoint.go and DESIGN.md §10)
+//
+// All integers are little-endian and fixed-width; []float64 vectors are
+// encoded as a uint32 element count followed by 8·n bytes of IEEE-754
+// bits (math.Float64bits), so a vector costs exactly the paper's cost
+// unit |w| = 8·dim plus four bytes of length. Frames are stateless:
+// unlike a gob stream there is no per-connection type preamble, so the
+// first frame after a reconnect costs exactly as many bytes as every
+// other frame, and a frame's size is computable without encoding it.
+//
+// Compatibility policy: the version byte covers the payload layouts.
+// Decoders reject versions they do not know; layout changes bump the
+// version and keep the old decoder path alive. Golden frames for each
+// kind are checked into testdata/ so any accidental layout drift fails
+// the cross-version golden tests.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Frame constants.
+const (
+	// Magic opens every frame; it doubles as the format sniff for
+	// readers (nn.Load) that must also accept legacy gob streams.
+	Magic = "P2FW"
+	// Version is the current frame format version.
+	Version = 1
+	// HeaderSize is the fixed frame header length in bytes.
+	HeaderSize = 12
+)
+
+// Payload kinds.
+const (
+	// KindRaft frames carry one raft.Message.
+	KindRaft byte = 1
+	// KindMesh frames carry one transport mesh message (SAC shares,
+	// subtotals, recovery traffic).
+	KindMesh byte = 2
+	// KindCheckpoint frames carry one nn model checkpoint.
+	KindCheckpoint byte = 3
+)
+
+// MaxPayload bounds a single frame's payload: 1 GiB is far above any
+// real model (a 16M-parameter vector is 128 MiB) but small enough that
+// a corrupt length prefix cannot drive a multi-gigabyte allocation.
+const MaxPayload = 1 << 30
+
+// Errors returned by decoders. They wrap fmt errors with context; use
+// errors.Is against these sentinels.
+var (
+	// ErrBadMagic reports a frame that does not open with Magic.
+	ErrBadMagic = fmt.Errorf("wire: bad magic")
+	// ErrBadVersion reports an unknown format version.
+	ErrBadVersion = fmt.Errorf("wire: unsupported version")
+	// ErrTruncated reports a payload shorter than its layout requires.
+	ErrTruncated = fmt.Errorf("wire: truncated payload")
+	// ErrBadFrame reports any other malformed header or payload field.
+	ErrBadFrame = fmt.Errorf("wire: malformed frame")
+)
+
+// AppendHeader appends a frame header for a payload of payloadLen bytes
+// and the given kind.
+func AppendHeader(dst []byte, kind byte, payloadLen int) []byte {
+	dst = append(dst, Magic...)
+	dst = append(dst, Version, kind, 0, 0)
+	return binary.LittleEndian.AppendUint32(dst, uint32(payloadLen))
+}
+
+// ParseHeader validates a 12-byte frame header and returns its kind and
+// payload length.
+func ParseHeader(h []byte) (kind byte, payloadLen int, err error) {
+	if len(h) < HeaderSize {
+		return 0, 0, fmt.Errorf("%w: header is %d bytes, want %d", ErrTruncated, len(h), HeaderSize)
+	}
+	if string(h[:4]) != Magic {
+		return 0, 0, fmt.Errorf("%w: % x", ErrBadMagic, h[:4])
+	}
+	if h[4] != Version {
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadVersion, h[4])
+	}
+	if h[6] != 0 || h[7] != 0 {
+		return 0, 0, fmt.Errorf("%w: nonzero reserved bytes", ErrBadFrame)
+	}
+	n := binary.LittleEndian.Uint32(h[8:12])
+	if n > MaxPayload {
+		return 0, 0, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, n, MaxPayload)
+	}
+	return h[5], int(n), nil
+}
+
+// ---- primitive appenders ----
+//
+// The appenders grow dst as needed and return the extended slice; the
+// readers consume from the front of b and return the remainder. Sizing
+// helpers let encoders pre-grow one buffer and telemetry account exact
+// frame bytes without encoding twice.
+
+func appendUint32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func appendUint64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+
+func readUint32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], nil
+}
+
+func readUint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+// appendBytes appends a uint32-length-prefixed byte string.
+func appendBytes(dst, v []byte) []byte {
+	dst = appendUint32(dst, uint32(len(v)))
+	return append(dst, v...)
+}
+
+// readBytes reads a length-prefixed byte string, copying it out of b so
+// the caller may recycle the backing buffer.
+func readBytes(b []byte) ([]byte, []byte, error) {
+	n, b, err := readUint32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(n) > uint64(len(b)) {
+		return nil, nil, ErrTruncated
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	out := make([]byte, n)
+	copy(out, b[:n])
+	return out, b[n:], nil
+}
+
+// appendString appends a uint32-length-prefixed UTF-8 string.
+func appendString(dst []byte, s string) []byte {
+	dst = appendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, b, err := readUint32(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(n) > uint64(len(b)) {
+		return "", nil, ErrTruncated
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// AppendFloat64s appends a float vector as a uint32 element count
+// followed by len(v) little-endian IEEE-754 words — the contiguous
+// block layout every model-dimension payload uses.
+func AppendFloat64s(dst []byte, v []float64) []byte {
+	dst = appendUint32(dst, uint32(len(v)))
+	off := len(dst)
+	dst = append(dst, make([]byte, 8*len(v))...)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(dst[off+8*i:], math.Float64bits(x))
+	}
+	return dst
+}
+
+// Float64sSize returns the encoded size of an n-element float vector.
+func Float64sSize(n int) int { return 4 + 8*n }
+
+// ReadFloat64s decodes a float vector into dst (reused when its
+// capacity suffices, so steady-state decodes of a stable model
+// dimension allocate nothing) and returns the vector and the rest of b.
+func ReadFloat64s(b []byte, dst []float64) ([]float64, []byte, error) {
+	n, b, err := readUint32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(n)*8 > uint64(len(b)) {
+		return nil, nil, ErrTruncated
+	}
+	if cap(dst) < int(n) {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return dst, b[8*n:], nil
+}
