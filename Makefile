@@ -14,7 +14,7 @@ BENCH_ARGS := -run '^$$' -bench $(BENCH_PATTERN) -benchmem -benchtime 10x ./...
 TELEMETRY_PAIRS := 'RaftTickLive=RaftTickNil,SACRoundLive=SACRoundNil,RaftTCPSendHealthyPeerAsync=RaftTCPSendHealthyPeerSync'
 WIRE_PAIRS := 'EncodeModelWire=EncodeModelGob@0.5,allocs:SACRoundAllocsPooled=SACRoundAllocsFresh@0.5'
 
-.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry test-health test-wire
+.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry test-health test-wire test-byzantine
 
 all: check
 
@@ -29,6 +29,10 @@ test:
 
 race:
 	$(GO) test -race ./...
+	$(GO) run -race ./cmd/p2pfl-chaos -seed 1 -soak 10s
+	$(GO) run -race ./cmd/p2pfl-chaos -seed 1 -target two-layer -steps 12
+	$(GO) run -race ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix flap -detector -steps 12
+	$(GO) run -race ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix byzantine -n 4 -steps 12
 
 # 30-second deterministic chaos sweep. The start seed is pinned so CI
 # failures reproduce locally: any red seed reruns exactly with
@@ -37,6 +41,8 @@ chaos-smoke:
 	$(GO) run ./cmd/p2pfl-chaos -seed 1 -soak 30s
 	$(GO) run ./cmd/p2pfl-chaos -seed 1 -target two-layer -steps 12
 	$(GO) run ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix flap -detector -steps 12
+	$(GO) run ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix byzantine -n 4 -steps 12
+	$(GO) run ./cmd/p2pfl-chaos -seed 1 -byzantine -steps 12
 
 bench:
 	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -write
@@ -62,11 +68,20 @@ test-health:
 		./internal/cluster/ ./internal/chaos/ ./internal/core/
 
 # Wire-codec suite under -race: the codec itself (golden files, fuzz
-# corpus regressions, truncation/corruption rejection), the transports
-# that frame with it, the nn checkpoint round-trip/compat tests, and
-# the SAC scratch determinism tests that share its pooled buffers.
+# corpus regressions, truncation/corruption rejection, hostile frames),
+# the transports that frame with it, the nn checkpoint round-trip/compat
+# tests, and the SAC scratch determinism tests that share its pooled
+# buffers.
 test-wire:
 	$(GO) test -race ./internal/wire/ ./internal/transport/ ./internal/nn/ \
 		./internal/secretshare/ ./internal/sac/ ./internal/simnet/
+
+# Byzantine adversary suite under -race: robust SAC aggregation (range
+# guard, subtotal cross-check, leader audit), its core-layer
+# integration, and the chaos oracle's 20-seed deterministic sweep with
+# the plain-mean sharpness contrast (DESIGN.md §11).
+test-byzantine:
+	$(GO) test -race -run 'Byzantine|Guard|Equivocat|PoisonScale|SignFlip|CorruptShares|InflatedSubtotals|HonestWitness|Robust' \
+		./internal/sac/ ./internal/core/ ./internal/chaos/
 
 check: vet build test race chaos-smoke

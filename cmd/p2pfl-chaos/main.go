@@ -9,6 +9,12 @@
 //	                                           flapping links + failure-detector
 //	                                           invariants (false-Down accuracy,
 //	                                           bounded re-convergence)
+//	p2pfl-chaos -target two-layer -mix byzantine -n 4
+//	                                           adversarial peers + robust
+//	                                           aggregation invariants
+//	p2pfl-chaos -byzantine -seed 11            Byzantine oracle rounds on any
+//	                                           campaign (robustness, detection,
+//	                                           equivocation, privacy, sharpness)
 //	p2pfl-chaos -soak 30s                      seed sweep until the wall clock runs out
 //	p2pfl-chaos -seed 9 -out fail.json         dump a replay file for the run
 //	p2pfl-chaos -replay fail.json              re-execute a dumped schedule exactly
@@ -34,9 +40,10 @@ func main() {
 	var (
 		seed    = flag.Int64("seed", 1, "campaign seed (ignored with -replay)")
 		steps   = flag.Int("steps", 24, "number of fault actions in the schedule")
-		mix     = flag.String("mix", "mixed", "fault mix: mixed | crash | partition | flap")
+		mix     = flag.String("mix", "mixed", "fault mix: mixed | crash | partition | flap | byzantine")
 		target  = flag.String("target", "raft-kv", "system under test: raft-kv | two-layer")
 		detect  = flag.Bool("detector", false, "enable the failure detector and its invariant checkers (two-layer target)")
+		byz     = flag.Bool("byzantine", false, "run Byzantine adversary oracle rounds and their invariant checkers")
 		nodes   = flag.Int("nodes", 5, "raft group size (raft-kv target)")
 		m       = flag.Int("m", 3, "number of subgroups (two-layer target)")
 		n       = flag.Int("n", 3, "peers per subgroup (two-layer target)")
@@ -64,6 +71,9 @@ func main() {
 
 	base := campaign(*seed, *steps, *mix, *target, *nodes, *m, *n)
 	base.Detector = *detect
+	if *byz {
+		base.Byzantine = true
+	}
 	if *soak <= 0 {
 		runOne(base, *out, *dump, *budget, true)
 		return
@@ -94,8 +104,11 @@ func campaign(seed int64, steps int, mix, target string, nodes, m, n int) chaos.
 		c.Mix = chaos.PartitionHeavyMix
 	case "flap":
 		c.Mix = chaos.FlappingMix
+	case "byzantine":
+		c.Mix = chaos.ByzantineMix
+		c.Byzantine = true
 	default:
-		log.Fatalf("unknown mix %q (want mixed | crash | partition | flap)", mix)
+		log.Fatalf("unknown mix %q (want mixed | crash | partition | flap | byzantine)", mix)
 	}
 	switch target {
 	case "raft-kv":
@@ -143,6 +156,9 @@ func printReport(rep *chaos.Report, showViolations bool) {
 	fmt.Printf("seed %-6d %s  %s: %d crashes, %d restarts, %d partitions, %d net faults, %d flaps, %d leader changes, %d commits, %d SAC rounds, %d virtual ms\n",
 		rep.Campaign.Seed, string(rep.Campaign.Target), verdict,
 		s.Crashes, s.Restarts, s.Partitions, s.NetFaults, s.Flaps, s.LeaderChanges, s.Commits, s.SACRounds, s.FinalVirtualMs)
+	if s.Byzantines > 0 || s.ByzantineDetections > 0 {
+		fmt.Printf("           byzantine: %d adversaries, %d detections\n", s.Byzantines, s.ByzantineDetections)
+	}
 	if showViolations {
 		for _, v := range rep.Violations {
 			fmt.Printf("  %s\n", v)

@@ -23,6 +23,24 @@
 //	                        detector returns to all-Up verdicts about
 //	                        live peers within a bound
 //
+// The Byzantine adversary track (Campaign.Byzantine, see byzantine.go)
+// adds four more, checked against seed-derived adversary plans with
+// f = 1 < n/3 marked peers per subgroup:
+//
+//	Byzantine robustness    guarded aggregation stays within a fixed
+//	                        tolerance of the equal-seed clean baseline
+//	Byzantine detection     forged shares are excluded, lying subtotal
+//	                        copies are counted as mismatches, honest
+//	                        peers are never falsely flagged
+//	Equivocation detection  a leader announcing divergent results is
+//	                        convicted by the audit; its subgroup is
+//	                        dropped from the round
+//	Coalition privacy       the adversary coalition never observes all
+//	                        n share indices of an honest peer's model
+//	Sharpness               the same campaign re-run under plain-mean
+//	                        (unguarded) aggregation must violate the
+//	                        tolerance — proof the checkers can fail
+//
 // Everything is derived from Campaign.Seed through dedicated rand
 // streams and runs on one goroutine under virtual time, so the same seed
 // always produces the identical schedule, the identical execution and
@@ -82,6 +100,14 @@ const (
 	// the silence threshold (a true Down), and each recovery must be
 	// observed as such, never condemned retroactively.
 	ActFlap ActionKind = "flap"
+	// ActByzantine marks one peer of the targeted subgroup as an active
+	// adversary (Action.Behavior selects the attack, see sac.Behavior).
+	// The mark persists for the campaign: the post-quiesce aggregation
+	// round runs the marked peers' attacks against the robust (guarded,
+	// median-combined) protocol. At most one peer per subgroup turns —
+	// the guard's honest-majority precondition with 3-way replication —
+	// and only subgroups of ≥ 4 peers can host one (f < n/3).
+	ActByzantine ActionKind = "byzantine"
 )
 
 // Action is one scheduled fault. Node-targeting actions carry a rank, not
@@ -107,6 +133,9 @@ type Action struct {
 	// Group selects the sub-network on TargetTwoLayer: 0..m−1 is a
 	// subgroup, m is the FedAvg layer. Ignored by TargetRaftKV.
 	Group int `json:"group,omitempty"`
+	// Behavior is the adversarial strategy for ActByzantine (a
+	// sac.Behavior string; empty defaults to inflate-subtotal).
+	Behavior string `json:"behavior,omitempty"`
 }
 
 // FaultMix weights the fault kinds during schedule generation. Zero
@@ -122,6 +151,7 @@ type FaultMix struct {
 	Delay      int `json:"delay"`
 	Heal       int `json:"heal"`
 	Flap       int `json:"flap,omitempty"`
+	Byzantine  int `json:"byzantine,omitempty"`
 }
 
 // DefaultMix is a balanced fault mix.
@@ -137,8 +167,12 @@ var PartitionHeavyMix = FaultMix{Partition: 5, Blackhole: 2, Loss: 2, Delay: 2, 
 // storms — the failure-detector stress profile.
 var FlappingMix = FaultMix{Flap: 5, Delay: 3, LeaderKill: 3, Loss: 2, Heal: 2, Crash: 1, Restart: 2}
 
+// ByzantineMix mixes adversarial peers with the crash/heal vocabulary —
+// the robust-aggregation stress profile.
+var ByzantineMix = FaultMix{Byzantine: 5, Crash: 2, Restart: 3, LeaderKill: 2, Partition: 1, Heal: 3}
+
 func (m FaultMix) total() int {
-	return m.Crash + m.Restart + m.LeaderKill + m.Partition + m.Blackhole + m.Loss + m.Delay + m.Heal + m.Flap
+	return m.Crash + m.Restart + m.LeaderKill + m.Partition + m.Blackhole + m.Loss + m.Delay + m.Heal + m.Flap + m.Byzantine
 }
 
 // pick maps a roll in [0, total) to a kind.
@@ -150,7 +184,8 @@ func (m FaultMix) pick(roll int) ActionKind {
 		{ActCrash, m.Crash}, {ActRestart, m.Restart}, {ActLeaderKill, m.LeaderKill},
 		{ActPartition, m.Partition}, {ActBlackhole, m.Blackhole},
 		{ActLoss, m.Loss}, {ActDelay, m.Delay}, {ActHeal, m.Heal},
-		{ActFlap, m.Flap}, // appended last so legacy mixes keep their roll mapping
+		// Appended last so legacy mixes keep their roll mapping.
+		{ActFlap, m.Flap}, {ActByzantine, m.Byzantine},
 	} {
 		if roll < kw.w {
 			return kw.k
@@ -196,6 +231,16 @@ type Campaign struct {
 	// SACRounds is the number of SAC exactness/privacy oracle rounds run
 	// per campaign (default 3; negative disables).
 	SACRounds int `json:"sac_rounds,omitempty"`
+	// Byzantine arms the Byzantine adversary track: ByzantineRounds
+	// oracle rounds pitting seed-derived adversary plans against the
+	// robust (guarded) aggregation, with convergence, detection,
+	// coalition-privacy and sharpness invariants (see byzantine.go). It
+	// also raises the default SubgroupSize to 4 so f = 1 < n/3 marks
+	// are possible on the two-layer target.
+	Byzantine bool `json:"byzantine,omitempty"`
+	// ByzantineRounds is the number of Byzantine oracle rounds (default
+	// 2 when Byzantine is set; negative disables).
+	ByzantineRounds int `json:"byzantine_rounds,omitempty"`
 
 	// Detector enables the self-healing layer on TargetTwoLayer
 	// (cluster.Options.Detector) and arms two extra invariant checkers:
@@ -243,6 +288,9 @@ func (c Campaign) normalize() Campaign {
 	}
 	if c.SubgroupSize <= 0 {
 		c.SubgroupSize = 3
+		if c.Byzantine {
+			c.SubgroupSize = 4 // room for f = 1 < n/3 adversaries
+		}
 	}
 	if c.ElectionTickMin <= 0 {
 		c.ElectionTickMin = 50
@@ -268,6 +316,9 @@ func (c Campaign) normalize() Campaign {
 	if c.SACRounds == 0 {
 		c.SACRounds = 3
 	}
+	if c.Byzantine && c.ByzantineRounds == 0 {
+		c.ByzantineRounds = 2
+	}
 	if c.ReconvergeBoundUs <= 0 {
 		c.ReconvergeBoundUs = int64(30 * simnet.Second)
 	}
@@ -291,6 +342,9 @@ func (c Campaign) Generate() []Action {
 		switch a.Kind {
 		case ActCrash, ActRestart, ActLeaderKill, ActBlackhole, ActFlap:
 			a.Rank = rng.Intn(1 << 16)
+		case ActByzantine:
+			a.Rank = rng.Intn(1 << 16)
+			a.Behavior = string(scheduleBehaviors[rng.Intn(len(scheduleBehaviors))])
 		case ActPartition:
 			// Random non-trivial bitmask; the executor discards degenerate
 			// sides, so any value is acceptable here.
@@ -333,6 +387,11 @@ type Stats struct {
 	Commits        int   `json:"commits"`
 	SACRounds      int   `json:"sac_rounds"`
 	FinalVirtualMs int64 `json:"final_virtual_ms"`
+	// Byzantines counts adversary marks deployed; ByzantineDetections
+	// counts guard detections (exclusions, mismatching subtotal copies,
+	// equivocation convictions) attributed to them.
+	Byzantines          int `json:"byzantines,omitempty"`
+	ByzantineDetections int `json:"byzantine_detections,omitempty"`
 }
 
 // Report is the outcome of one executed campaign.
@@ -362,6 +421,9 @@ func (c Campaign) Execute(actions []Action) *Report {
 	}
 	if n.SACRounds > 0 {
 		runSACOracle(n, rep)
+	}
+	if n.Byzantine && n.ByzantineRounds > 0 {
+		runByzantineOracle(n, rep)
 	}
 	return rep
 }

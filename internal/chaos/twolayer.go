@@ -7,9 +7,22 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fl"
 	"repro/internal/health"
 	"repro/internal/raft"
+	"repro/internal/sac"
 	"repro/internal/simnet"
+)
+
+// Byzantine two-layer rounds draw model coordinates from [16, 141]: the
+// nonzero floor makes poison-scale shares provably out of range (the
+// largest of a peer's shares carries ≥ 1/n of its model, so a ×1000
+// model pushes it past any honest share), which keeps range-guard
+// detection deterministic. The tolerance allows one sign-flipped or
+// excluded model per subgroup plus median-vs-mean spread.
+const (
+	byzModelMax      = 141.0
+	byzTwoLayerBound = 2 * byzModelMax
 )
 
 // Flap cycle timing: the dark window exceeds the detector's default
@@ -38,6 +51,10 @@ type twWorld struct {
 	// healthSeen indexes into sys.HealthTransitions(): verdicts before
 	// it have already been screened by the false-Down checker.
 	healthSeen int
+	// byz maps subgroup index → adversary plan (local peer index →
+	// behavior) accumulated from ActByzantine actions. A non-empty map
+	// switches the quiesce aggregation round into robust mode.
+	byz map[int]sac.AdversaryPlan
 }
 
 // executeTwoLayer runs one schedule against a fresh two-layer cluster.
@@ -56,7 +73,8 @@ func executeTwoLayer(c Campaign, actions []Action, rep *Report) {
 	if err != nil {
 		panic(fmt.Sprintf("chaos: two-layer options invalid: %v", err)) // normalize() guarantees validity
 	}
-	w := &twWorld{c: c, rep: rep, led: newLedger(rep), sys: sys, m: sys.NumSubgroups()}
+	w := &twWorld{c: c, rep: rep, led: newLedger(rep), sys: sys, m: sys.NumSubgroups(),
+		byz: make(map[int]sac.AdversaryPlan)}
 
 	// Election safety is checked from raw role transitions on both layers.
 	sys.SetObserver(cluster.Observer{
@@ -202,6 +220,20 @@ func (w *twWorld) apply(a Action) {
 		id := ids[a.Rank%len(ids)]
 		s.Flaps++
 		w.flap(net, id, 2+a.Rank%3)
+	case ActByzantine:
+		g := a.Group % w.m
+		n := len(w.sys.SubgroupPeers(g))
+		// One adversary per subgroup, and only where the honest-majority
+		// precondition 3f < n holds at f = 1.
+		if len(w.byz[g]) > 0 || n < 4 {
+			return
+		}
+		b := sac.Behavior(a.Behavior)
+		if b == sac.ByzNone {
+			b = sac.ByzInflateSubtotal
+		}
+		w.byz[g] = sac.AdversaryPlan{a.Rank % n: b}
+		s.Byzantines++
 	}
 }
 
@@ -433,11 +465,20 @@ func (w *twWorld) aggregationRound(fedID uint64) {
 		fedSub = p.Subgroup
 	}
 
-	coreSys, err := core.NewSystem(core.Config{
+	guarded := len(w.byz) > 0
+	cfg := core.Config{
 		Sizes:     sizes,
 		K:         []int{w.c.SubgroupSize - 1}, // k-out-of-n where sizes allow; clamped to n below that
 		Telemetry: w.c.Telemetry,
-	}, rand.New(rand.NewSource(w.c.Seed^0x7f4a7c15)))
+	}
+	if guarded {
+		// Robust mode needs 3-way share replication (k = n−2) so the
+		// holder cross-check can outvote the marked adversaries.
+		cfg.K = []int{w.c.SubgroupSize - 2}
+		cfg.Guard = &sac.Guard{ShareBound: byzModelMax, CrossCheck: true}
+		cfg.Aggregator = fl.CoordinateMedian{}
+	}
+	coreSys, err := core.NewSystem(cfg, rand.New(rand.NewSource(w.c.Seed^0x7f4a7c15)))
 	if err != nil {
 		w.led.violate(now, "liveness", fmt.Sprintf("aggregation config invalid: %v", err))
 		return
@@ -446,13 +487,23 @@ func (w *twWorld) aggregationRound(fedID uint64) {
 	rng := rand.New(rand.NewSource(w.c.Seed ^ 0x2545f491))
 	for i := range models {
 		models[i] = []float64{math.Round(rng.Float64()*1000) / 8, math.Round(rng.Float64()*1000) / 8}
+		if guarded {
+			// Lift coordinates to [16, 141] so poison-scale shares are
+			// provably forged (see byzModelMax).
+			models[i][0] += 16
+			models[i][1] += 16
+		}
 	}
-	res, err := coreSys.AggregateRound(models, core.RoundSpec{Leaders: leaders, FedLeader: fedSub})
+	res, err := coreSys.AggregateRound(models, core.RoundSpec{Leaders: leaders, FedLeader: fedSub, Adversary: w.byz})
 	if err != nil {
 		w.led.violate(now, "liveness", fmt.Sprintf("aggregation round with elected leaders failed: %v", err))
 		return
 	}
 	w.rep.Stats.SACRounds++
+	if guarded {
+		w.checkByzantineRound(now, sizes, offsets, models, res)
+		return
+	}
 	want := make([]float64, len(models[0]))
 	for _, m := range models {
 		for d, v := range m {
@@ -468,5 +519,46 @@ func (w *twWorld) aggregationRound(fedID uint64) {
 				fmt.Sprintf("post-quiesce round: global[%d] = %g, plaintext mean %g", d, res.Global[d], want[d]))
 			return
 		}
+	}
+}
+
+// checkByzantineRound replaces the exactness check when the schedule
+// marked adversaries: the robust global must stay within
+// byzTwoLayerBound of the honest-only plaintext mean, and provably
+// forged (poison-scale) peers must appear among the excluded.
+func (w *twWorld) checkByzantineRound(now int64, sizes, offsets []int, models [][]float64, res *core.RoundResult) {
+	want := make([]float64, len(models[0]))
+	cnt := 0
+	for g := 0; g < w.m; g++ {
+		plan := w.byz[g]
+		for i := 0; i < sizes[g]; i++ {
+			if _, bad := plan[i]; bad {
+				continue
+			}
+			for d, v := range models[offsets[g]+i] {
+				want[d] += v
+			}
+			cnt++
+		}
+	}
+	for d := range want {
+		want[d] /= float64(cnt)
+	}
+	for d := range want {
+		if math.Abs(res.Global[d]-want[d]) > byzTwoLayerBound {
+			w.led.violate(now, "byzantine-robust",
+				fmt.Sprintf("post-quiesce robust round: global[%d] = %g deviates > %g from honest mean %g",
+					d, res.Global[d], byzTwoLayerBound, want[d]))
+			return
+		}
+	}
+	for g, plan := range w.byz {
+		for p, b := range plan {
+			if b == sac.ByzPoisonScale && !containsInt(res.ExcludedPeers[g], p) {
+				w.led.violate(now, "byzantine-detection",
+					fmt.Sprintf("post-quiesce robust round: poison-scale peer %d of subgroup %d escaped the range guard", p, g))
+			}
+		}
+		w.rep.Stats.ByzantineDetections += len(res.ExcludedPeers[g])
 	}
 }

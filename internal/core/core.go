@@ -63,6 +63,12 @@ type Config struct {
 	// subgroup models. Ignored when SecureUpper is set (SAC computes a
 	// weighted average by construction).
 	Aggregator fl.Aggregator
+	// Guard, when non-nil, arms the robust-aggregation defences inside
+	// every subgroup SAC (share-range exclusion, cross-checked subtotal
+	// combination, leader-result audit — see sac.Guard). Subgroups whose
+	// leader is convicted of equivocation by the audit are dropped from
+	// the round like failed subgroups.
+	Guard *sac.Guard
 	// SecureUpper replaces the plain FedAvg exchange in the upper layer
 	// with another SAC among the participating subgroup leaders — the
 	// stronger-privacy variant the paper suggests in Sec. IV-D ("in case
@@ -173,6 +179,7 @@ type sysTel struct {
 	subgroupsOK       *telemetry.Counter
 	subgroupsExcluded *telemetry.Counter
 	subgroupsDegraded *telemetry.Counter
+	byzSubgroups      *telemetry.Counter
 	sacFailed         *telemetry.Counter
 	fedavgWeight      *telemetry.Gauge
 	roundBytes        *telemetry.Histogram
@@ -189,6 +196,7 @@ func newSysTel(reg *telemetry.Registry) sysTel {
 		subgroupsOK:       reg.Counter("round/subgroups_ok"),
 		subgroupsExcluded: reg.Counter("round/subgroups_excluded"),
 		subgroupsDegraded: reg.Counter("round/subgroups_degraded"),
+		byzSubgroups:      reg.Counter("round/byzantine_subgroups"),
 		sacFailed:         reg.Counter("round/sac_failed"),
 		fedavgWeight:      reg.Gauge("round/fedavg_weight_total"),
 		roundBytes:        reg.Histogram("round/bytes", roundBytesBounds),
@@ -234,6 +242,12 @@ type RoundResult struct {
 	// Degraded echoes the subgroups skipped because they had lost Raft
 	// quorum when the round ran (RoundSpec.Degraded).
 	Degraded []int
+	// ByzantineExcluded lists subgroups dropped because the SAC leader
+	// audit convicted their leader of equivocation.
+	ByzantineExcluded []int
+	// ExcludedPeers maps subgroup → contributors (local indices) the
+	// share-range guard excluded inside that subgroup's SAC.
+	ExcludedPeers map[int][]int
 	// Bytes is the traffic of this round only.
 	Bytes int64
 }
@@ -252,6 +266,9 @@ type RoundSpec struct {
 	// Leaders[g] is the index (within subgroup g) of its current leader,
 	// as elected by the subgroup's Raft group. Nil means index 0.
 	Leaders []int
+	// Adversary schedules Byzantine behaviors per subgroup index
+	// (peer indices local to the subgroup), parallel to Crash.
+	Adversary map[int]sac.AdversaryPlan
 	// FedLeader is the subgroup whose leader currently leads the FedAvg
 	// layer; −1 (or a non-participating subgroup) falls back to the
 	// first participating subgroup.
@@ -339,7 +356,8 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 		cfg := sac.Config{
 			N: size, K: s.cfg.thresholdFor(g, size), Leader: leaders[g], Mode: sac.ModeLeader,
 			Divider: s.cfg.Divider, Rng: rng, Telemetry: s.cfg.Telemetry,
-			Scratch: s.scratches[g],
+			Scratch:   s.scratches[g],
+			Adversary: spec.Adversary[g], Guard: s.cfg.Guard,
 		}
 		r, err := sac.Run(mesh, cfg, models[offsets[g]:offsets[g]+size], crash[g])
 		if err == nil {
@@ -366,6 +384,21 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 	var okSubs []int
 	for g, r := range sacResults {
 		if r == nil {
+			continue
+		}
+		if len(r.Excluded) > 0 {
+			if res.ExcludedPeers == nil {
+				res.ExcludedPeers = make(map[int][]int)
+			}
+			res.ExcludedPeers[g] = r.Excluded
+		}
+		if r.LeaderAccused {
+			// A convicted equivocator cannot be trusted with the subgroup's
+			// model; the round proceeds without the subgroup (the cluster
+			// layer re-elects before the next round).
+			res.ByzantineExcluded = append(res.ByzantineExcluded, g)
+			s.tel.byzSubgroups.Inc()
+			s.tel.reg.Trace("round/byzantine_excluded", 0, g)
 			continue
 		}
 		res.SubgroupAvgs[g] = r.Avg

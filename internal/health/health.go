@@ -140,6 +140,9 @@ func New(peers []uint64, o Options) (*Detector, error) {
 	if o.Clock == nil {
 		return nil, errors.New("health: Clock is required")
 	}
+	if o.SuspectTicks < 0 || o.DownTicks < 0 {
+		return nil, errors.New("health: negative tick thresholds")
+	}
 	if o.SuspectTicks == 0 {
 		o.SuspectTicks = 2
 	}

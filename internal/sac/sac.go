@@ -33,6 +33,15 @@ const (
 	KindSubtotal    = "sac/subtotal"
 	KindRecoveryReq = "sac/recovery-req"
 	KindRecovery    = "sac/recovery"
+	// KindAccuse is a range-guard accusation broadcast (metadata-sized).
+	KindAccuse = "sac/accuse"
+	// KindClaims carries the leader's claimed per-index subtotals to an
+	// audit verifier (n·|w| floats).
+	KindClaims = "sac/claims"
+	// KindResult carries the leader's announced result to one peer (|w|).
+	KindResult = "sac/result"
+	// KindAudit is a verifier's digest echo (metadata-sized).
+	KindAudit = "sac/audit"
 )
 
 // Mode selects how subtotals are exchanged.
@@ -95,6 +104,14 @@ type Config struct {
 	// bit-identical either way; payloads observed on the mesh alias
 	// scratch memory, so observers must copy what they retain.
 	Scratch *Scratch
+	// Adversary marks peers with Byzantine behaviors for this round
+	// (nil: everyone honest). See Behavior.
+	Adversary AdversaryPlan
+	// Guard arms the robust-aggregation defences (nil: the paper's
+	// crash-only protocol; lies go undetected). See Guard. Note that
+	// with K = N a range-guard exclusion aborts the round (Alg. 2
+	// semantics: a missing partition is unrecoverable).
+	Guard *Guard
 }
 
 func (c *Config) validate() error {
@@ -110,6 +127,17 @@ func (c *Config) validate() error {
 	if c.Mode == ModeLeader && (c.Leader < 0 || c.Leader >= c.N) {
 		return fmt.Errorf("sac: leader %d out of [0,%d)", c.Leader, c.N)
 	}
+	if c.Guard != nil && c.Guard.CrossCheck && c.Mode != ModeLeader {
+		return fmt.Errorf("sac: cross-check guard requires leader mode")
+	}
+	for p, b := range c.Adversary {
+		if p < 0 || p >= c.N {
+			return fmt.Errorf("sac: adversary peer %d out of [0,%d)", p, c.N)
+		}
+		if !b.valid() {
+			return fmt.Errorf("sac: unknown adversary behavior %q", b)
+		}
+	}
 	return nil
 }
 
@@ -123,6 +151,17 @@ type Result struct {
 	// Recovered lists share indices whose subtotals were fetched from
 	// replica holders because the owner crashed.
 	Recovered []int
+	// Excluded lists contributors removed by the range guard: their
+	// shares were provably forged, so their models left the average.
+	Excluded []int
+	// Mismatches counts subtotal copies that disagreed with the
+	// cross-checked combination beyond the guard tolerance.
+	Mismatches int
+	// LeaderAccused reports that the leader-result audit convicted the
+	// leader of equivocation; callers must discard Avg (the engine
+	// returns the honest combination, but a real deployment would
+	// re-run under a new leader).
+	LeaderAccused bool
 }
 
 // Run executes one SAC aggregation of models (models[i] is peer i's flat
@@ -182,6 +221,10 @@ type sacTel struct {
 	subtotalsRecovered *telemetry.Counter
 	peersCrashed       *telemetry.Counter
 	msgsInvalid        *telemetry.Counter
+	byzShareRange      *telemetry.Counter
+	byzMismatch        *telemetry.Counter
+	byzEquivocation    *telemetry.Counter
+	byzExcluded        *telemetry.Counter
 	phaseShare         *telemetry.Histogram
 	phaseSubtotal      *telemetry.Histogram
 	phaseFinish        *telemetry.Histogram
@@ -201,6 +244,10 @@ func newSACTel(reg *telemetry.Registry) sacTel {
 		subtotalsRecovered: reg.Counter("sac/subtotals_recovered"),
 		peersCrashed:       reg.Counter("sac/peers_crashed"),
 		msgsInvalid:        reg.Counter("sac/msgs_invalid"),
+		byzShareRange:      reg.Counter("sac/byzantine_share_range"),
+		byzMismatch:        reg.Counter("sac/byzantine_subtotal_mismatch"),
+		byzEquivocation:    reg.Counter("sac/byzantine_equivocation"),
+		byzExcluded:        reg.Counter("sac/byzantine_excluded"),
 		phaseShare:         reg.Histogram("sac/phase_share_us", phaseBoundsUs),
 		phaseSubtotal:      reg.Histogram("sac/phase_subtotal_us", phaseBoundsUs),
 		phaseFinish:        reg.Histogram("sac/phase_finish_us", phaseBoundsUs),
@@ -220,6 +267,11 @@ type engine struct {
 	contributors []int
 	// subtotals[peer][shareIdx] — computed by peers holding shareIdx.
 	subtotals []map[int][]float64
+
+	// Byzantine bookkeeping (see byzantine.go).
+	excluded      []int
+	mismatches    int
+	leaderAccused bool
 }
 
 func (e *engine) crashAt(peer int, phase Phase) bool {
@@ -256,7 +308,9 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 			e.tel.peersCrashed.Inc()
 			continue
 		}
-		shares, err := e.divide(i, models[i], n)
+		// Model poisoning happens before division: the adversary shares a
+		// scaled or sign-flipped update, consistently across receivers.
+		shares, err := e.divide(i, attackModel(e.byz(i), models[i]), n)
 		if err != nil {
 			return nil, err
 		}
@@ -268,7 +322,13 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 					e.store(received, j, s, i, shares[s])
 					continue
 				}
-				msg := transport.Message{From: i, To: j, Kind: KindShare, ShareIdx: s, Payload: shares[s]}
+				payload := shares[s]
+				if e.byz(i) == ByzCorruptShares {
+					// Each receiver gets its own perturbed copy; the true
+					// share stays only with the sender.
+					payload = e.corruptedCopy(payload)
+				}
+				msg := transport.Message{From: i, To: j, Kind: KindShare, ShareIdx: s, Payload: payload}
 				if err := e.mesh.Send(msg); err != nil {
 					return nil, err
 				}
@@ -288,6 +348,8 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 	// [0,n), payload of the wrong dimension, or a stale message replayed
 	// from an earlier round — is discarded: a malformed or replayed
 	// message must never panic the engine or double-count a model.
+	var accusations []accusation
+	accusedPair := make(map[[2]int]bool)
 	for j := 0; j < n; j++ {
 		if !e.mesh.Alive(j) {
 			continue
@@ -297,12 +359,27 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 			return nil, err
 		}
 		for _, m := range msgs {
-			if e.validShare(m) {
-				e.store(received, j, m.ShareIdx, m.From, m.Payload)
-			} else {
+			switch {
+			case !e.validShare(m):
 				e.tel.msgsInvalid.Inc()
+			case e.shareOutOfRange(j, m):
+				// Range guard: an honest share is a fraction of its model,
+				// so a too-large share is provably forged. Accuse once per
+				// (accuser, sender) pair; the share is not stored.
+				if pair := [2]int{j, m.From}; !accusedPair[pair] {
+					accusedPair[pair] = true
+					accusations = append(accusations, accusation{accuser: j, accused: m.From})
+				}
+			default:
+				e.store(received, j, m.ShareIdx, m.From, m.Payload)
 			}
 		}
+	}
+	if err := e.broadcastAccusations(accusations); err != nil {
+		return nil, err
+	}
+	if len(e.contributors) == 0 {
+		return nil, fmt.Errorf("%w: every contributor was excluded by the range guard", ErrInsufficientPeers)
 	}
 	t1 := e.tel.reg.Now()
 	e.tel.phaseShare.Observe(float64(t1 - t0))
@@ -346,6 +423,7 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 				e.subtotals[j][s] = sub
 			}
 		}
+		e.corruptSubtotals(j)
 	}
 
 	// Phase 3 — subtotal exchange.
@@ -353,11 +431,18 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 	e.tel.phaseSubtotal.Observe(float64(t2 - t1))
 	var res *Result
 	var err error
-	switch e.cfg.Mode {
-	case ModeBroadcast:
+	switch {
+	case e.cfg.Mode == ModeBroadcast:
 		res, err = e.finishBroadcast()
+	case e.cfg.Guard != nil && e.cfg.Guard.CrossCheck:
+		res, err = e.finishLeaderGuarded()
 	default:
 		res, err = e.finishLeader()
+	}
+	if res != nil {
+		res.Excluded = e.excluded
+		res.Mismatches = e.mismatches
+		res.LeaderAccused = e.leaderAccused
 	}
 	e.tel.phaseFinish.Observe(float64(e.tel.reg.Now() - t2))
 	return res, err
@@ -533,7 +618,15 @@ func (e *engine) finishLeader() (*Result, error) {
 	if len(recovered) > 0 {
 		e.tel.subtotalsRecovered.Add(int64(len(recovered)))
 	}
-	return &Result{Avg: e.average(have), Contributors: e.contributors, Recovered: recovered}, nil
+	avg := e.average(have)
+	if e.byz(leader) == ByzEquivocate {
+		// Without the audit the lie goes unnoticed: the leader announces
+		// an offset result and nobody can tell.
+		for x := range avg {
+			avg[x] += EquivocateOffset
+		}
+	}
+	return &Result{Avg: avg, Contributors: e.contributors, Recovered: recovered}, nil
 }
 
 // average sums all n subtotals and divides by the number of contributing

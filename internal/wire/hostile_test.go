@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"repro/internal/raft"
+)
+
+// Adversarial-frame suite: every decoder must survive hostile input —
+// lying length fields, bit-flipped headers and payloads, truncated float
+// blocks — by returning an error (or, for semantically harmless payload
+// flips, a different message), never by panicking or allocating on the
+// attacker's say-so. Run under -race via make race.
+
+func hostileSamples() map[string][]byte {
+	mesh := AppendMeshFrame(nil, MeshMessage{
+		From: 3, To: 1, Kind: "sac/share", ShareIdx: 2,
+		Payload: []float64{1.5, -2.25, 1e9, 0.125},
+	})
+	rft := AppendRaftFrame(nil, raft.Message{
+		Type: raft.MsgAppend, From: 1, To: 5, Term: 7, PrevLogIndex: 10, PrevLogTerm: 6, Commit: 9,
+		Entries:  []raft.Entry{{Index: 11, Term: 7, Data: []byte("cmd")}, {Index: 12, Term: 7}},
+		Snapshot: &raft.Snapshot{Index: 10, Term: 6, Peers: []uint64{1, 2, 5}, Data: []byte("snap")},
+	})
+	cp := AppendCheckpointFrame(nil, Checkpoint{
+		Names: []string{"w0", "b0"}, Sizes: []int{3, 1},
+		Weights: []float64{0.5, -0.5, 1, 2},
+	})
+	return map[string][]byte{"mesh": mesh, "raft": rft, "checkpoint": cp}
+}
+
+// decodeFrame drives the full io.Reader path for the sample's kind.
+func decodeFrame(kind string, b []byte) error {
+	r := bytes.NewReader(b)
+	switch kind {
+	case "mesh":
+		_, _, err := ReadMeshFrame(r, nil)
+		return err
+	case "raft":
+		_, _, err := ReadRaftFrame(r, nil)
+		return err
+	default:
+		_, err := ReadCheckpointFrame(r)
+		return err
+	}
+}
+
+// TestBitFlipSweepNeverPanics flips every single bit of every valid
+// frame and decodes the result: any outcome is acceptable except a
+// panic. Header flips must error (magic, version, reserved bytes and
+// length are all load-bearing); payload flips may legitimately decode
+// to a different message.
+func TestBitFlipSweepNeverPanics(t *testing.T) {
+	for kind, frame := range hostileSamples() {
+		for i := range frame {
+			for bit := 0; bit < 8; bit++ {
+				mutated := append([]byte(nil), frame...)
+				mutated[i] ^= 1 << bit
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("%s: flip byte %d bit %d: panic %v", kind, i, bit, r)
+						}
+					}()
+					err := decodeFrame(kind, mutated)
+					if i < 8 && err == nil {
+						// Magic, version, kind or reserved byte flipped:
+						// the header validator must reject (a kind flip
+						// decodes as the wrong frame type, also an error).
+						t.Fatalf("%s: header flip byte %d bit %d accepted", kind, i, bit)
+					}
+				}()
+			}
+		}
+	}
+}
+
+// TestEveryTruncationErrors streams every strict prefix of every valid
+// frame: all must error cleanly, including cuts inside float blocks,
+// entry batches and the snapshot peer list.
+func TestEveryTruncationErrors(t *testing.T) {
+	for kind, frame := range hostileSamples() {
+		for i := 0; i < len(frame); i++ {
+			if err := decodeFrame(kind, frame[:i]); err == nil {
+				t.Fatalf("%s: %d-byte prefix of %d-byte frame accepted", kind, i, len(frame))
+			}
+		}
+	}
+}
+
+// lieLength rewrites the header's payload-length field.
+func lieLength(frame []byte, n uint32) []byte {
+	out := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(out[8:12], n)
+	return out
+}
+
+// TestLengthFieldLies covers both directions of a forged length: a
+// shorter claim leaves trailing payload bytes (rejected), a longer claim
+// starves the reader (rejected), and an absurd claim must not translate
+// into an absurd allocation.
+func TestLengthFieldLies(t *testing.T) {
+	for kind, frame := range hostileSamples() {
+		truth := binary.LittleEndian.Uint32(frame[8:12])
+		for _, lie := range []uint32{0, truth - 1, truth + 1, truth * 2, MaxPayload} {
+			if lie == truth {
+				continue
+			}
+			if err := decodeFrame(kind, lieLength(frame, lie)); err == nil {
+				t.Fatalf("%s: length lie %d (truth %d) accepted", kind, lie, truth)
+			}
+		}
+	}
+}
+
+// shortStream yields a valid header claiming `claim` payload bytes but
+// delivers only `deliver` of them before EOF.
+func shortStream(claim uint32, deliver int) io.Reader {
+	b := AppendHeader(nil, KindMesh, 0)
+	binary.LittleEndian.PutUint32(b[8:12], claim)
+	return bytes.NewReader(append(b, make([]byte, deliver)...))
+}
+
+// TestLyingLengthBoundsAllocation is the over-allocation guard: a header
+// claiming MaxPayload on a nearly empty stream must fail with the read
+// buffer still at the prealloc cap — the attacker's 12 bytes cannot buy
+// a gigabyte of our memory.
+func TestLyingLengthBoundsAllocation(t *testing.T) {
+	_, scratch, err := ReadMeshFrame(shortStream(MaxPayload, 100), nil)
+	if err == nil {
+		t.Fatal("starved frame accepted")
+	}
+	if cap(scratch) > framePrealloc {
+		t.Fatalf("lying header drove allocation to %d bytes (cap %d)", cap(scratch), framePrealloc)
+	}
+
+	// With real bytes arriving, growth must track what was actually
+	// received (geometric, ≤ 2×), not the claim.
+	const delivered = 200 << 10
+	_, scratch, err = ReadMeshFrame(shortStream(MaxPayload, delivered), nil)
+	if err == nil {
+		t.Fatal("starved frame accepted")
+	}
+	if cap(scratch) > 2*delivered {
+		t.Fatalf("allocation %d not bounded by twice the %d delivered bytes", cap(scratch), delivered)
+	}
+}
+
+// TestHonestLargeFrameStillDecodes pins the other side of the prealloc
+// cap: a genuine payload above framePrealloc must still round-trip
+// through the growing reader.
+func TestHonestLargeFrameStillDecodes(t *testing.T) {
+	payload := make([]float64, (framePrealloc/8)*3) // ~3× the prealloc cap
+	for i := range payload {
+		payload[i] = float64(i)
+	}
+	frame := AppendMeshFrame(nil, MeshMessage{From: 1, To: 2, Kind: "sac/share", Payload: payload})
+	m, _, err := ReadMeshFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatalf("honest large frame rejected: %v", err)
+	}
+	if len(m.Payload) != len(payload) || m.Payload[17] != 17 {
+		t.Fatalf("large payload mangled: %d elements", len(m.Payload))
+	}
+}
+
+// TestNestedLengthLies forges inner length prefixes (string and float
+// counts) beyond the enclosing payload: decoders must reject before
+// trusting them with an allocation.
+func TestNestedLengthLies(t *testing.T) {
+	// Mesh payload with a kind-string length claiming past the end.
+	b := AppendHeader(nil, KindMesh, 8*3+4+4)
+	b = appendUint64(b, 1)
+	b = appendUint64(b, 2)
+	b = appendUint64(b, 0)
+	b = appendUint32(b, 1<<30) // kind-string length lie
+	b = appendUint32(b, 0)
+	if _, _, err := ReadMeshFrame(bytes.NewReader(b), nil); err == nil {
+		t.Fatal("kind-string length lie accepted")
+	}
+
+	// Mesh payload whose float-count field claims 2^28 elements backed by
+	// no bytes.
+	b = AppendHeader(nil, KindMesh, 8*3+4+1+4)
+	b = appendUint64(b, 1)
+	b = appendUint64(b, 2)
+	b = appendUint64(b, 0)
+	b = appendString(b, "k")
+	b = appendUint32(b, 1<<28) // float-count lie
+	if _, _, err := ReadMeshFrame(bytes.NewReader(b), nil); err == nil {
+		t.Fatal("float-count lie accepted")
+	}
+
+	// Raft entry batch claiming 2^30 entries in a tiny payload.
+	b = AppendHeader(nil, KindRaft, raftFixedSize+4)
+	b = append(b, make([]byte, raftFixedSize)...)
+	b = appendUint32(b, 1<<30) // entry-count lie
+	if _, _, err := ReadRaftFrame(bytes.NewReader(b), nil); err == nil {
+		t.Fatal("entry-count lie accepted")
+	}
+}
+
+// TestHostileFramesDoNotOverAllocate bounds allocation count on the
+// rejection paths: refusing garbage must not cost buffers.
+func TestHostileFramesDoNotOverAllocate(t *testing.T) {
+	frame := hostileSamples()["mesh"]
+	bad := lieLength(frame, MaxPayload)
+	scratch := make([]byte, 0, framePrealloc)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := ReadMeshFrame(bytes.NewReader(bad), scratch); err == nil {
+			panic("accepted")
+		}
+	})
+	// One reader + one wrapped error are tolerated; payload buffers are not.
+	if allocs > 6 {
+		t.Fatalf("rejection path allocates %v times per frame", allocs)
+	}
+}
