@@ -8,13 +8,15 @@ GO ?= go
 # on an instrumented/nil telemetry pair exceeding its same-run 5%
 # overhead budget, or on a wire-pipeline pair missing its absolute
 # ratio budget (wire encode ≤ 0.5× gob; pooled SAC round ≤ 0.5× the
-# fresh round's allocs/op).
-BENCH_PATTERN := 'BenchmarkMatMul|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkPaperCNNTrainStep|BenchmarkClientTrainRound|BenchmarkRound15Peers|BenchmarkAggregate|BenchmarkRaftTick|BenchmarkSACRound|BenchmarkRaftTCPSend|BenchmarkEncodeModel|BenchmarkDecodeModelWire'
+# fresh round's allocs/op; int8 delta frame ≤ 0.25× the float64 frame's
+# bytes; the parallel Divide kernel allocation-free vs serial).
+BENCH_PATTERN := 'BenchmarkMatMul|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkPaperCNNTrainStep|BenchmarkClientTrainRound|BenchmarkRound15Peers|BenchmarkAggregate|BenchmarkRaftTick|BenchmarkSACRound|BenchmarkRaftTCPSend|BenchmarkEncodeModel|BenchmarkDecodeModelWire|BenchmarkEncodeDelta|BenchmarkDequantize|BenchmarkDivide'
 BENCH_ARGS := -run '^$$' -bench $(BENCH_PATTERN) -benchmem -benchtime 10x ./...
 TELEMETRY_PAIRS := 'RaftTickLive=RaftTickNil,SACRoundLive=SACRoundNil,RaftTCPSendHealthyPeerAsync=RaftTCPSendHealthyPeerSync'
 WIRE_PAIRS := 'EncodeModelWire=EncodeModelGob@0.5,allocs:SACRoundAllocsPooled=SACRoundAllocsFresh@0.5'
+COMPRESS_PAIRS := 'bytes:EncodeDeltaQuant8=EncodeDeltaFloat64@0.25,allocs:DivideParallel/dim1e6=DivideSerial/dim1e6@1.0'
 
-.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry test-health test-wire test-byzantine
+.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry test-health test-wire test-byzantine test-compress
 
 all: check
 
@@ -48,7 +50,7 @@ bench:
 	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -write
 
 bench-check:
-	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -check -pairs $(TELEMETRY_PAIRS),$(WIRE_PAIRS) -pair-tolerance 0.05
+	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -check -pairs $(TELEMETRY_PAIRS),$(WIRE_PAIRS),$(COMPRESS_PAIRS) -pair-tolerance 0.05
 
 # Telemetry exposition suite under -race: the registry package in
 # full, the wired subsystems' counting/determinism regressions, and the
@@ -75,6 +77,17 @@ test-health:
 test-wire:
 	$(GO) test -race ./internal/wire/ ./internal/transport/ ./internal/nn/ \
 		./internal/secretshare/ ./internal/sac/ ./internal/simnet/
+
+# Compression suite under -race: the quantize/top-k kernels (bit
+# determinism at any worker count, error bounds), the wire v2 delta
+# kinds, the parallel Divide kernel's bit-identity, the opt-in
+# transport/core compression paths, and the closed-form byte accounting
+# cross-checks (DESIGN.md §12).
+test-compress:
+	$(GO) test -race ./internal/compress/ ./internal/secretshare/
+	$(GO) test -race -run 'Delta|Quant|Sparse|Compress|TopK|DistributionBytes|BlockBytes' \
+		./internal/wire/ ./internal/transport/ ./internal/sac/ \
+		./internal/core/ ./internal/costmodel/ ./internal/nn/
 
 # Byzantine adversary suite under -race: robust SAC aggregation (range
 # guard, subtotal cross-check, leader audit), its core-layer

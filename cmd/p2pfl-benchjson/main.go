@@ -28,7 +28,10 @@
 // demands the wire codec run in at most half the gob time. A metric
 // prefix selects what is compared — "allocs:" gates allocs/op instead
 // of ns/op, e.g. "allocs:SACRoundAllocsPooled=SACRoundAllocsFresh@0.5"
-// demands the pooled round allocate at most half as often. A pair with
+// demands the pooled round allocate at most half as often, and "bytes:"
+// gates B/op — encode benchmarks that b.ReportMetric their frame size as
+// B/op turn this into an exact wire-size contract, e.g.
+// "bytes:EncodeDeltaQuant8=EncodeDeltaFloat64@0.25". A pair with
 // either member missing from the run fails the check — a silently
 // skipped gate is a broken gate.
 package main
@@ -189,7 +192,7 @@ func check(latest string, current []Benchmark, tolerance float64) error {
 
 // pairSpec is one parsed -pairs entry: [metric:]A=B[@budget].
 type pairSpec struct {
-	metric string // "ns" (default) or "allocs"
+	metric string // "ns" (default), "allocs" or "bytes"
 	a, b   string
 	budget float64 // max allowed metric(A)/metric(B)
 }
@@ -201,10 +204,10 @@ func parsePair(entry string, defaultBudget float64) (pairSpec, error) {
 	s := strings.TrimSpace(entry)
 	if metric, rest, ok := strings.Cut(s, ":"); ok {
 		switch metric {
-		case "ns", "allocs":
+		case "ns", "allocs", "bytes":
 			p.metric = metric
 		default:
-			return p, fmt.Errorf("bad -pairs entry %q: unknown metric %q (want ns or allocs)", entry, metric)
+			return p, fmt.Errorf("bad -pairs entry %q: unknown metric %q (want ns, allocs or bytes)", entry, metric)
 		}
 		s = rest
 	}
@@ -225,8 +228,11 @@ func parsePair(entry string, defaultBudget float64) (pairSpec, error) {
 }
 
 func (p pairSpec) value(b Benchmark) float64 {
-	if p.metric == "allocs" {
+	switch p.metric {
+	case "allocs":
 		return b.AllocsPerOp
+	case "bytes":
+		return b.BytesPerOp
 	}
 	return b.NsPerOp
 }
@@ -254,8 +260,11 @@ func checkPairs(spec string, current []Benchmark, tolerance float64) error {
 		}
 		va, vb := p.value(a), p.value(base)
 		unit := "ns/op"
-		if p.metric == "allocs" {
+		switch p.metric {
+		case "allocs":
 			unit = "allocs/op"
+		case "bytes":
+			unit = "B/op"
 		}
 		if vb == 0 {
 			// Ratio is undefined; the contract degenerates to "A must be

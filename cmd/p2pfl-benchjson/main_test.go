@@ -58,9 +58,9 @@ func TestCheckPairs(t *testing.T) {
 
 func TestCheckPairsBudgetAndMetric(t *testing.T) {
 	cur := []Benchmark{
-		{Name: "EncWire", NsPerOp: 400, AllocsPerOp: 0},
-		{Name: "EncGob", NsPerOp: 1000, AllocsPerOp: 50},
-		{Name: "Pooled", NsPerOp: 800, AllocsPerOp: 20},
+		{Name: "EncWire", NsPerOp: 400, AllocsPerOp: 0, BytesPerOp: 200},
+		{Name: "EncGob", NsPerOp: 1000, AllocsPerOp: 50, BytesPerOp: 1000},
+		{Name: "Pooled", NsPerOp: 800, AllocsPerOp: 20, BytesPerOp: 900},
 		{Name: "Fresh", NsPerOp: 900, AllocsPerOp: 100},
 		{Name: "ZeroBase", NsPerOp: 100, AllocsPerOp: 0},
 	}
@@ -85,12 +85,19 @@ func TestCheckPairsBudgetAndMetric(t *testing.T) {
 	if err := checkPairs("allocs:Pooled=ZeroBase", cur, 0.05); err == nil {
 		t.Error("nonzero allocs passed against a zero-alloc baseline")
 	}
+	// bytes metric: 200/1000 = 0.2 passes @0.25; 900/1000 = 0.9 fails it.
+	if err := checkPairs("bytes:EncWire=EncGob@0.25", cur, 0.05); err != nil {
+		t.Errorf("0.2 bytes ratio failed a 0.25 budget: %v", err)
+	}
+	if err := checkPairs("bytes:Pooled=EncGob@0.25", cur, 0.05); err == nil {
+		t.Error("0.9 bytes ratio passed a 0.25 budget")
+	}
 	// Mixed list: one bad entry still fails the whole check.
 	if err := checkPairs("EncWire=EncGob@0.5,allocs:Pooled=EncGob@0.3", cur, 0.05); err == nil {
 		t.Error("list with one exceeded entry passed")
 	}
 	// Malformed variants.
-	for _, bad := range []string{"bytes:EncWire=EncGob", "EncWire=EncGob@", "EncWire=EncGob@-1", "ns:=EncGob"} {
+	for _, bad := range []string{"acc:EncWire=EncGob", "EncWire=EncGob@", "EncWire=EncGob@-1", "ns:=EncGob"} {
 		if err := checkPairs(bad, cur, 0.05); err == nil {
 			t.Errorf("malformed entry %q passed", bad)
 		}

@@ -1,0 +1,90 @@
+package compress
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// The encode benchmarks report the full wire frame size as B/op (via
+// ReportMetric after the loop — ResetTimer deletes user metrics —
+// overriding the allocator column), so the bench-check pair
+// bytes:EncodeDeltaQuant8=EncodeDeltaFloat64@0.25 gates the actual
+// on-the-wire ratio, not allocator noise.
+
+const benchDim = 100_000
+
+var benchEnv = wire.MeshMessage{From: 3, To: 7, Kind: "fedavg/download"}
+
+func BenchmarkEncodeDeltaFloat64(b *testing.B) {
+	w := randVec(benchDim, 42)
+	m := benchEnv
+	m.Payload = w
+	buf := wire.AppendMeshFrame(nil, m)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = wire.AppendMeshFrame(buf[:0], m)
+	}
+	b.ReportMetric(float64(len(buf)), "B/op")
+}
+
+func benchmarkEncodeQuant(b *testing.B, width int) {
+	w := randVec(benchDim, 42)
+	q, _, err := Quantize(w, width, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := wire.AppendQuantFrame(nil, benchEnv, q)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, _, err = Quantize(w, width, q.Q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = wire.AppendQuantFrame(buf[:0], benchEnv, q)
+	}
+	b.ReportMetric(float64(len(buf)), "B/op")
+}
+
+func BenchmarkEncodeDeltaQuant8(b *testing.B)  { benchmarkEncodeQuant(b, 1) }
+func BenchmarkEncodeDeltaQuant16(b *testing.B) { benchmarkEncodeQuant(b, 2) }
+
+func benchmarkEncodeSparse(b *testing.B, frac float64, width int) {
+	w := randVec(benchDim, 42)
+	k := int(frac * benchDim)
+	s, _, err := Sparsify(w, k, width)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := wire.AppendSparseFrame(nil, benchEnv, s)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _, err = Sparsify(w, k, width)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = wire.AppendSparseFrame(buf[:0], benchEnv, s)
+	}
+	b.ReportMetric(float64(len(buf)), "B/op")
+}
+
+func BenchmarkEncodeDeltaSparse10(b *testing.B)   { benchmarkEncodeSparse(b, 0.10, 0) }
+func BenchmarkEncodeDeltaSparse10Q8(b *testing.B) { benchmarkEncodeSparse(b, 0.10, 1) }
+
+func BenchmarkDequantize(b *testing.B) {
+	w := randVec(benchDim, 42)
+	q, _, err := Quantize(w, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, benchDim)
+	b.SetBytes(int64(8 * benchDim))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Dequantize(q, dst)
+	}
+	_ = dst
+}

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/compress"
 	"repro/internal/fl"
 	"repro/internal/sac"
 	"repro/internal/secretshare"
@@ -82,6 +83,19 @@ type Config struct {
 	// across subgroups follows goroutine scheduling; deterministic
 	// snapshots therefore require serial mode.
 	Telemetry *telemetry.Registry
+	// Compression, when enabled, compresses the FedAvg-layer model-delta
+	// traffic — uploads (subgroup leader → FedAvg leader), downloads and
+	// broadcasts — with the given scheme. Those messages are charged
+	// their encoded block size instead of 8·dim, and the models that
+	// cross the wire are replaced by their lossy reconstructions: the
+	// FedAvg leader aggregates decoded uploads, and every peer (leader
+	// included) resumes from the decoded global model, so the whole
+	// fleet stays in lockstep. SAC share/subtotal traffic is never
+	// compressed (shares must reconstruct exactly), and under
+	// SecureUpper the uploads travel as SAC shares, so only the
+	// distribution legs compress. The zero value is off and reproduces
+	// byte-identical traffic and training curves.
+	Compression compress.Config
 }
 
 // SplitPeers divides N peers into m subgroups as the paper does: N/m
@@ -116,6 +130,9 @@ func (c *Config) validate() error {
 	}
 	if c.Fraction < 0 || c.Fraction > 1 {
 		return fmt.Errorf("core: fraction %v out of [0,1]", c.Fraction)
+	}
+	if err := c.Compression.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -250,6 +267,11 @@ type RoundResult struct {
 	ExcludedPeers map[int][]int
 	// Bytes is the traffic of this round only.
 	Bytes int64
+	// GlobalBound, set only when Config.Compression is enabled, is the
+	// error accounting of the compressed global-model distribution:
+	// every peer's copy of Global differs from the exact FedAvg result
+	// by at most GlobalBound.MaxCoordErr per coordinate.
+	GlobalBound *compress.Bound
 }
 
 // ErrNoSubgroups is returned when no subgroup produced an aggregate.
@@ -458,6 +480,13 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 			}
 		}
 	}
+	// One FedAvg-layer message costs 8·dim bytes uncompressed, or the
+	// encoded block size under Config.Compression (the closed form
+	// costmodel.DistributionBytes restates the totals).
+	msgBytes := int64(8 * dim)
+	if s.cfg.Compression.Enabled() {
+		msgBytes = s.cfg.Compression.MessageBytes(dim)
+	}
 	var global []float64
 	var err error
 	if s.cfg.SecureUpper {
@@ -466,11 +495,22 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 		var fedModels [][]float64
 		var fedCounts []float64
 		for _, g := range participate {
-			fedModels = append(fedModels, res.SubgroupAvgs[g])
-			fedCounts = append(fedCounts, subCounts[g])
+			model := res.SubgroupAvgs[g]
 			if g != fedLeader {
-				s.counter.Record(KindUpload, int64(8*dim))
+				if s.cfg.Compression.Enabled() {
+					// The upload crosses the wire compressed; the FedAvg
+					// leader aggregates what it can reconstruct. The
+					// leader's own model never leaves the process.
+					d, cerr := s.cfg.Compression.Compress(model)
+					if cerr != nil {
+						return nil, cerr
+					}
+					model = d.Dense(nil)
+				}
+				s.counter.Record(KindUpload, msgBytes)
 			}
+			fedModels = append(fedModels, model)
+			fedCounts = append(fedCounts, subCounts[g])
 		}
 		agg := s.cfg.Aggregator
 		if agg == nil {
@@ -480,6 +520,18 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 	}
 	if err != nil {
 		return nil, err
+	}
+	if s.cfg.Compression.Enabled() {
+		// The global model is encoded once and every distribution leg
+		// ships the same block, so all peers — the FedAvg leader included,
+		// to keep the fleet in lockstep — resume from the decoded copy.
+		d, cerr := s.cfg.Compression.Compress(global)
+		if cerr != nil {
+			return nil, cerr
+		}
+		global = d.Dense(global[:0])
+		b := d.Bound
+		res.GlobalBound = &b
 	}
 	res.Global = global
 
@@ -493,10 +545,10 @@ func (s *System) AggregateRound(models [][]float64, spec RoundSpec) (*RoundResul
 			continue
 		}
 		if g != fedLeader {
-			s.counter.Record(KindDownload, int64(8*dim))
+			s.counter.Record(KindDownload, msgBytes)
 		}
 		for i := 1; i < size; i++ {
-			s.counter.Record(KindBroadcast, int64(8*dim))
+			s.counter.Record(KindBroadcast, msgBytes)
 		}
 	}
 

@@ -9,7 +9,7 @@ import (
 
 func TestRegistryNamesAndRun(t *testing.T) {
 	names := Names()
-	if len(names) != 15 {
+	if len(names) != 16 {
 		t.Fatalf("registered %d experiments: %v", len(names), names)
 	}
 	res, err := Run("tab1", tiny)

@@ -24,6 +24,7 @@ var runners = map[string]func(Params) (Result, error){
 	"ext3":  func(p Params) (Result, error) { return Ext3RobustAggregation(p) },
 	"ext4":  func(p Params) (Result, error) { return Ext4RoundTime(p) },
 	"ext5":  func(p Params) (Result, error) { return Ext5LatencySweep(p) },
+	"ext6":  func(p Params) (Result, error) { return Ext6CompressionCurve(p) },
 }
 
 // Names lists all registered experiments in order.

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSaveQuantizedRoundTrip: a quantized checkpoint loads back into a
+// same-architecture model with every weight within the reported
+// per-coordinate bound, and the int8 frame is well under a quarter of
+// the float64 frame.
+func TestSaveQuantizedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := MLP(8, []int{16}, 4, rng)
+
+	var plain bytes.Buffer
+	if err := a.Save(&plain); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, width := range []int{1, 2} {
+		var buf bytes.Buffer
+		bound, err := a.SaveQuantized(&buf, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if width == 1 && buf.Len() > plain.Len()/4 {
+			t.Fatalf("int8 checkpoint %dB, want ≤ quarter of %dB", buf.Len(), plain.Len())
+		}
+		b := MLP(8, []int{16}, 4, rand.New(rand.NewSource(12)))
+		if err := b.Load(&buf); err != nil {
+			t.Fatal(err)
+		}
+		wa, wb := a.WeightVector(), b.WeightVector()
+		if bound.Dim != len(wa) {
+			t.Fatalf("bound dim %d, want %d", bound.Dim, len(wa))
+		}
+		maxDiff := 0.0
+		for j := range wa {
+			if d := math.Abs(wa[j] - wb[j]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff == 0 {
+			t.Fatal("quantized load is bit-identical — quantization did not engage")
+		}
+		if maxDiff > bound.MaxCoordErr+1e-15 {
+			t.Fatalf("width %d: weight drifted %g, bound %g", width, maxDiff, bound.MaxCoordErr)
+		}
+		if bound.MeasuredMaxErr > bound.MaxCoordErr+1e-15 {
+			t.Fatalf("width %d: measured error %g exceeds bound %g", width, bound.MeasuredMaxErr, bound.MaxCoordErr)
+		}
+	}
+}
+
+// TestSaveQuantizedRejectsMismatch: the schema check guards quantized
+// checkpoints exactly as it guards plain ones.
+func TestSaveQuantizedRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := MLP(8, []int{16}, 4, rng)
+	var buf bytes.Buffer
+	if _, err := a.SaveQuantized(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	b := MLP(8, []int{32}, 4, rng)
+	if err := b.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("want schema-mismatch error")
+	}
+}
+
+// TestSaveQuantizedBadWidth: only int8/int16 widths are accepted.
+func TestSaveQuantizedBadWidth(t *testing.T) {
+	a := MLP(4, nil, 2, rand.New(rand.NewSource(14)))
+	var buf bytes.Buffer
+	if _, err := a.SaveQuantized(&buf, 3); err == nil {
+		t.Fatal("width 3 accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatal("failed save wrote bytes")
+	}
+}

@@ -1,0 +1,120 @@
+package sac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/transport"
+)
+
+// TestCompressionLeavesSACExact proves the opt-in compression boundary:
+// with the model-delta kinds compressed on the mesh, a SAC round — whose
+// share/subtotal/audit kinds are never listed — produces bit-identical
+// results and byte counts to a round on an untouched mesh. Shares and
+// subtotals must stay exact: lossy shares would silently corrupt the
+// secure average, and the leader audit compares KindClaims/KindResult
+// bit for bit.
+func TestCompressionLeavesSACExact(t *testing.T) {
+	const n, dim, seed = 5, 64, 11
+	mkModels := func() [][]float64 {
+		r := rand.New(rand.NewSource(seed + 1))
+		models := make([][]float64, n)
+		for i := range models {
+			models[i] = make([]float64, dim)
+			for j := range models[i] {
+				models[i][j] = r.NormFloat64()
+			}
+		}
+		return models
+	}
+
+	plain := transport.NewMesh(n, nil)
+	refRes, err := Run(plain, Config{N: n, K: n, Leader: 0, Mode: ModeLeader, Rng: rand.New(rand.NewSource(seed))}, mkModels(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	comp := transport.NewMesh(n, nil)
+	// Compression armed for the fedavg distribution kinds only — exactly
+	// how core.System configures it. No sac/* kind is listed.
+	err = comp.SetCompression(compress.Config{Scheme: compress.Quant8},
+		"fedavg/upload", "fedavg/download", "fedavg/broadcast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, err := Run(comp, Config{N: n, K: n, Leader: 0, Mode: ModeLeader, Rng: rand.New(rand.NewSource(seed))}, mkModels(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for j := range refRes.Avg {
+		if math.Float64bits(refRes.Avg[j]) != math.Float64bits(gotRes.Avg[j]) {
+			t.Fatalf("coord %d: compressed-mesh average differs: %g vs %g", j, gotRes.Avg[j], refRes.Avg[j])
+		}
+	}
+	for _, kind := range []string{KindShare, KindSubtotal} {
+		ref, got := plain.Counter().Bytes(kind), comp.Counter().Bytes(kind)
+		if ref != got {
+			t.Fatalf("%s bytes: %d on compressed mesh, want %d (sac traffic must stay exact)", kind, got, ref)
+		}
+		if ref == 0 {
+			t.Fatalf("%s recorded no traffic — test is vacuous", kind)
+		}
+	}
+	if plain.Counter().TotalBytes() != comp.Counter().TotalBytes() {
+		t.Fatalf("total bytes diverge: %d vs %d", comp.Counter().TotalBytes(), plain.Counter().TotalBytes())
+	}
+}
+
+// TestCompressionLeavesGuardedSACExact repeats the check with the guard
+// stack (share-range guard + cross-check + leader audit) armed: the
+// audit's bit-exact KindClaims/KindResult comparison must hold on a
+// compression-enabled mesh.
+func TestCompressionLeavesGuardedSACExact(t *testing.T) {
+	const n, dim, seed = 6, 32, 23
+	r := rand.New(rand.NewSource(seed + 1))
+	models := make([][]float64, n)
+	for i := range models {
+		models[i] = make([]float64, dim)
+		for j := range models[i] {
+			models[i][j] = r.NormFloat64()
+		}
+	}
+	guard := &Guard{ShareBound: 100, CrossCheck: true}
+
+	run := func(mesh *transport.Mesh) *Result {
+		t.Helper()
+		res, err := Run(mesh, Config{
+			N: n, K: n, Leader: 0, Mode: ModeLeader,
+			Rng: rand.New(rand.NewSource(seed)), Guard: guard,
+		}, models, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := transport.NewMesh(n, nil)
+	ref := run(plain)
+
+	comp := transport.NewMesh(n, nil)
+	if err := comp.SetCompression(compress.Config{Scheme: compress.TopKQuant8, Frac: 0.1},
+		"fedavg/upload", "fedavg/download", "fedavg/broadcast"); err != nil {
+		t.Fatal(err)
+	}
+	got := run(comp)
+
+	if got.LeaderAccused || got.Mismatches != ref.Mismatches || len(got.Excluded) != len(ref.Excluded) {
+		t.Fatalf("guard verdicts changed under compression: %+v vs %+v", got, ref)
+	}
+	for j := range ref.Avg {
+		if math.Float64bits(ref.Avg[j]) != math.Float64bits(got.Avg[j]) {
+			t.Fatalf("coord %d differs under guards", j)
+		}
+	}
+	if plain.Counter().TotalBytes() != comp.Counter().TotalBytes() {
+		t.Fatalf("guarded round bytes diverge: %d vs %d", comp.Counter().TotalBytes(), plain.Counter().TotalBytes())
+	}
+}

@@ -1,0 +1,85 @@
+package secretshare
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestParallelDivideBitIdentical pins the batched-kernel contract: at
+// every worker budget, the parallel dividers produce exactly the bytes
+// the serial ones do — same shares bit for bit, same rng state left
+// behind — so flipping Parallel on can never change a training run.
+func TestParallelDivideBitIdentical(t *testing.T) {
+	defer tensor.SetParallelism(tensor.Parallelism())
+	const dim, n, seed = 4099, 9, 17 // odd dim: panels cannot split evenly
+
+	w := make([]float64, dim)
+	rng := rand.New(rand.NewSource(99))
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+
+	cases := []struct {
+		name             string
+		serial, parallel Divider
+	}{
+		{"scalar", ScalarDivider{}, ScalarDivider{Parallel: true}},
+		{"mask", MaskDivider{Scale: 2}, MaskDivider{Scale: 2, Parallel: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tensor.SetParallelism(1)
+			refRng := rand.New(rand.NewSource(seed))
+			ref, err := tc.serial.Divide(w, n, refRng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refNext := refRng.Float64()
+
+			for _, workers := range []int{1, 2, 4, 8} {
+				tensor.SetParallelism(workers)
+				gotRng := rand.New(rand.NewSource(seed))
+				got, _, err := tc.parallel.DivideInto(w, n, gotRng, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range ref {
+					for j := range ref[i] {
+						if math.Float64bits(ref[i][j]) != math.Float64bits(got[i][j]) {
+							t.Fatalf("workers=%d: share %d coord %d differs: %g vs %g",
+								workers, i, j, ref[i][j], got[i][j])
+						}
+					}
+				}
+				if next := gotRng.Float64(); next != refNext {
+					t.Fatalf("workers=%d: rng state diverged (next draw %g, want %g)",
+						workers, next, refNext)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDivideReconstructs sanity-checks that the parallel kernels
+// still satisfy the additive-share contract.
+func TestParallelDivideReconstructs(t *testing.T) {
+	w := []float64{1.5, -2.25, 0, 3.75, 1e-3}
+	for _, d := range []Divider{ScalarDivider{Parallel: true}, MaskDivider{Parallel: true}} {
+		shares, err := d.Divide(w, 4, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := Reconstruct(shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range w {
+			if math.Abs(sum[j]-w[j]) > 1e-12 {
+				t.Fatalf("%s: coord %d reconstructs to %g, want %g", d.Name(), j, sum[j], w[j])
+			}
+		}
+	}
+}

@@ -48,6 +48,17 @@ func Parallelism() int {
 	return cap(pool.Load().extra) + 1
 }
 
+// ParallelRows runs fn over [0, rows) split into contiguous panels, one
+// per worker the caller manages to borrow from the shared pool (plus the
+// caller itself). It is the exported entry point for out-of-package
+// kernels (compress quantizers, secretshare dividers) that want the same
+// token budget and the same determinism contract as the tensor kernels:
+// fn must only write state derived from its own row range, and its
+// per-row results must not depend on how [0, rows) was split.
+func ParallelRows(rows int, fn func(lo, hi int)) {
+	parallelRows(rows, fn)
+}
+
 // parallelRows runs fn over [0, rows) split into contiguous panels, one
 // per worker the caller manages to borrow (plus the caller itself).
 // With no spare tokens — or a single row — it degrades to fn(0, rows)

@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/telemetry"
+)
+
+func compressTestVec(dim int) []float64 {
+	rng := rand.New(rand.NewSource(77))
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	return w
+}
+
+// TestMeshCompressionAccounting: a compressed kind is charged the
+// encoded block size, an unlisted kind keeps the 8·dim unit, and the
+// delivered payload is the lossy reconstruction.
+func TestMeshCompressionAccounting(t *testing.T) {
+	const dim = 500
+	w := compressTestVec(dim)
+	cfg := compress.Config{Scheme: compress.Quant8}
+	mesh := NewMesh(2, nil)
+	reg := telemetry.New()
+	mesh.SetTelemetry(reg)
+	if err := mesh.SetCompression(cfg, "fedavg/download"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := mesh.Send(Message{From: 0, To: 1, Kind: "fedavg/download", Payload: w}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mesh.Send(Message{From: 0, To: 1, Kind: "sac/share", Payload: w}); err != nil {
+		t.Fatal(err)
+	}
+
+	wantComp := cfg.MessageBytes(dim)
+	if got := mesh.Counter().Bytes("fedavg/download"); got != wantComp {
+		t.Fatalf("compressed kind charged %d, want %d", got, wantComp)
+	}
+	if got := mesh.Counter().Bytes("sac/share"); got != int64(8*dim) {
+		t.Fatalf("unlisted kind charged %d, want %d", got, 8*dim)
+	}
+	if saved := reg.Counter("transport/bytes_saved_compression").Value(); saved != int64(8*dim)-wantComp {
+		t.Fatalf("bytes_saved_compression = %d, want %d", saved, int64(8*dim)-wantComp)
+	}
+
+	msgs, err := mesh.Drain(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("drained %d messages, want 2", len(msgs))
+	}
+	// The compressed message arrives lossy (but within the quant bound);
+	// the exact kind arrives bit-identical.
+	d, err := cfg.Compress(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDec := d.Dense(nil)
+	for j := range w {
+		if msgs[0].Payload[j] != wantDec[j] {
+			t.Fatalf("compressed payload coord %d: %g, want decoded %g", j, msgs[0].Payload[j], wantDec[j])
+		}
+		if msgs[1].Payload[j] != w[j] {
+			t.Fatalf("exact payload coord %d mutated", j)
+		}
+	}
+
+	// Turning compression off restores the original accounting.
+	if err := mesh.SetCompression(compress.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	mesh.Counter().Reset()
+	if err := mesh.Send(Message{From: 0, To: 1, Kind: "fedavg/download", Payload: w}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mesh.Counter().Bytes("fedavg/download"); got != int64(8*dim) {
+		t.Fatalf("after disable: charged %d, want %d", got, 8*dim)
+	}
+}
+
+func TestMeshSetCompressionValidates(t *testing.T) {
+	mesh := NewMesh(2, nil)
+	if err := mesh.SetCompression(compress.Config{Scheme: compress.Scheme(42)}, "x"); err == nil {
+		t.Fatal("invalid scheme accepted")
+	}
+	tcp, err := NewTCPMesh(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	if err := tcp.SetCompression(compress.Config{Scheme: compress.TopK, Frac: 7}, "x"); err == nil {
+		t.Fatal("invalid fraction accepted")
+	}
+}
+
+// TestTCPMeshCompressionMatchesMesh drives the same traffic through the
+// in-memory mesh and the socket fabric under every scheme and demands
+// identical byte accounting and bit-identical delivered payloads — the
+// socket round-trip through real quantized/sparse wire frames must lose
+// exactly as much as the in-memory model says it does.
+func TestTCPMeshCompressionMatchesMesh(t *testing.T) {
+	const dim = 257
+	w := compressTestVec(dim)
+	kinds := []string{"fedavg/upload", "fedavg/download"}
+	for _, cfg := range []compress.Config{
+		{Scheme: compress.Quant8},
+		{Scheme: compress.Quant16},
+		{Scheme: compress.TopK, Frac: 0.2},
+		{Scheme: compress.TopKQuant8, Frac: 0.2},
+	} {
+		mem := NewMesh(3, nil)
+		tcp, err := NewTCPMesh(3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mem.SetCompression(cfg, kinds...); err != nil {
+			t.Fatal(err)
+		}
+		if err := tcp.SetCompression(cfg, kinds...); err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []string{"fedavg/upload", "fedavg/download", "sac/subtotal"} {
+			msg := Message{From: 0, To: 2, Kind: kind, ShareIdx: 1, Payload: w}
+			if err := mem.Send(msg); err != nil {
+				t.Fatal(err)
+			}
+			if err := tcp.Send(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		memMsgs, err := mem.Drain(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcpMsgs, err := tcp.Drain(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(memMsgs) != 3 || len(tcpMsgs) != 3 {
+			t.Fatalf("%v: drained %d/%d messages, want 3/3", cfg, len(memMsgs), len(tcpMsgs))
+		}
+		for i := range memMsgs {
+			a, b := memMsgs[i], tcpMsgs[i]
+			if a.Kind != b.Kind || a.ShareIdx != b.ShareIdx || len(a.Payload) != len(b.Payload) {
+				t.Fatalf("%v: message %d envelope mismatch", cfg, i)
+			}
+			for j := range a.Payload {
+				if math.Float64bits(a.Payload[j]) != math.Float64bits(b.Payload[j]) {
+					t.Fatalf("%v: %s coord %d: mesh %g vs tcp %g", cfg, a.Kind, j, a.Payload[j], b.Payload[j])
+				}
+			}
+		}
+		for _, kind := range []string{"fedavg/upload", "fedavg/download", "sac/subtotal"} {
+			if mem.Counter().Bytes(kind) != tcp.Counter().Bytes(kind) {
+				t.Fatalf("%v: %s bytes diverge: mesh %d vs tcp %d",
+					cfg, kind, mem.Counter().Bytes(kind), tcp.Counter().Bytes(kind))
+			}
+		}
+		if got := mem.Counter().Bytes("sac/subtotal"); got != int64(8*dim) {
+			t.Fatalf("%v: sac kind compressed: %d bytes", cfg, got)
+		}
+		if got := mem.Counter().Bytes("fedavg/upload"); got != cfg.MessageBytes(dim) {
+			t.Fatalf("%v: upload charged %d, want closed form %d", cfg, got, cfg.MessageBytes(dim))
+		}
+		tcp.Close()
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/compress"
 	"repro/internal/wire"
 )
 
@@ -36,6 +37,7 @@ type TCPMesh struct {
 	addrs     []string
 
 	conns map[int]*tcpConn // keyed by destination peer
+	comp  *compression
 
 	closed bool
 	wg     sync.WaitGroup
@@ -98,12 +100,21 @@ func (m *TCPMesh) serveConn(peer int, conn net.Conn) {
 	bw := bufio.NewWriter(conn)
 	var scratch []byte
 	for {
-		var wm wire.MeshMessage
-		var err error
-		if wm, scratch, err = wire.ReadMeshFrame(br, scratch); err != nil {
+		// Accept plain mesh frames and the compressed v2 delta kinds on
+		// the same socket; a compressed block is reconstructed into the
+		// dense payload the protocol layer expects.
+		wm, qd, sd, next, err := wire.ReadAnyMeshFrame(br, scratch)
+		if err != nil {
 			return
 		}
-		msg := Message{From: wm.From, To: wm.To, Kind: wm.Kind, ShareIdx: wm.ShareIdx, Payload: wm.Payload}
+		scratch = next
+		payload := wm.Payload
+		if qd != nil {
+			payload = qd.Dense(nil)
+		} else if sd != nil {
+			payload = sd.Dense(nil)
+		}
+		msg := Message{From: wm.From, To: wm.To, Kind: wm.Kind, ShareIdx: wm.ShareIdx, Payload: payload}
 		m.mu.Lock()
 		if !m.crashed[peer] {
 			m.inboxes[peer] = append(m.inboxes[peer], msg)
@@ -161,6 +172,23 @@ func (m *TCPMesh) Crash(peer int) error {
 	return nil
 }
 
+// SetCompression mirrors Mesh.SetCompression for the socket fabric: a
+// compressed Send puts an actual quantized/sparse wire frame on the
+// socket (the receiver reconstructs the dense payload on decode) and
+// accounts the encoded block size in the counter, keeping byte totals
+// identical to the in-memory Mesh. Call between rounds, not
+// concurrently with Send.
+func (m *TCPMesh) SetCompression(cfg compress.Config, kinds ...string) error {
+	comp, err := newCompression(cfg, kinds)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.comp = comp
+	return nil
+}
+
 // Send implements Network with per-message acknowledgement.
 func (m *TCPMesh) Send(msg Message) error {
 	if msg.From < 0 || msg.From >= m.n || msg.To < 0 || msg.To >= m.n {
@@ -175,9 +203,22 @@ func (m *TCPMesh) Send(msg Message) error {
 		m.mu.Unlock()
 		return fmt.Errorf("transport: %w: peer %d", ErrCrashed, msg.From)
 	}
-	m.counter.Record(msg.Kind, msg.WireBytes())
+	comp := m.comp
 	toCrashed := m.crashed[msg.To]
 	m.mu.Unlock()
+	var delta compress.Delta
+	compressed := false
+	wireBytes := msg.WireBytes()
+	if comp.applies(msg.Kind) {
+		var err error
+		delta, err = comp.cfg.Compress(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("transport: compress %s: %w", msg.Kind, err)
+		}
+		compressed = true
+		wireBytes = delta.EncodedBytes()
+	}
+	m.counter.Record(msg.Kind, wireBytes)
 	if toCrashed {
 		// Bytes hit the wire toward a dead peer; nothing arrives.
 		return nil
@@ -190,9 +231,13 @@ func (m *TCPMesh) Send(msg Message) error {
 		}
 		return err
 	}
-	conn.buf = wire.AppendMeshFrame(conn.buf[:0], wire.MeshMessage{
-		From: msg.From, To: msg.To, Kind: msg.Kind, ShareIdx: msg.ShareIdx, Payload: msg.Payload,
-	})
+	env := wire.MeshMessage{From: msg.From, To: msg.To, Kind: msg.Kind, ShareIdx: msg.ShareIdx}
+	if compressed {
+		conn.buf = delta.AppendFrame(conn.buf[:0], env)
+	} else {
+		env.Payload = msg.Payload
+		conn.buf = wire.AppendMeshFrame(conn.buf[:0], env)
+	}
 	if _, err := conn.c.Write(conn.buf); err != nil {
 		m.dropConn(msg.To)
 		if !m.Alive(msg.To) {

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/compress"
 	"repro/internal/telemetry"
 )
 
@@ -140,6 +141,7 @@ type Mesh struct {
 	counter  *Counter
 	observer func(Message)
 	tel      meshTel
+	comp     *compression
 }
 
 // meshTel holds the mesh's pre-resolved telemetry handles: aggregate
@@ -150,6 +152,7 @@ type meshTel struct {
 	bytesSent    *telemetry.Counter
 	msgsReceived *telemetry.Counter
 	msgsDropped  *telemetry.Counter
+	bytesSaved   *telemetry.Counter // uncompressed − accounted, per compressed send
 	peerMsgs     []*telemetry.Counter // indexed by sender
 	peerBytes    []*telemetry.Counter
 }
@@ -169,6 +172,7 @@ func (m *Mesh) SetTelemetry(reg *telemetry.Registry) {
 		bytesSent:    reg.Counter("transport/bytes_sent"),
 		msgsReceived: reg.Counter("transport/msgs_received"),
 		msgsDropped:  reg.Counter("transport/msgs_dropped"),
+		bytesSaved:   reg.Counter("transport/bytes_saved_compression"),
 		peerMsgs:     make([]*telemetry.Counter, m.n),
 		peerBytes:    make([]*telemetry.Counter, m.n),
 	}
@@ -207,6 +211,24 @@ func (m *Mesh) Observe(fn func(Message)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.observer = fn
+}
+
+// SetCompression turns lossy compression on for the given message kinds
+// (or off again: scheme None or an empty kind list). A compressed Send
+// accounts the encoded block size instead of 8·dim and delivers the
+// decoded (lossy) payload, so inboxes see exactly what a receiver could
+// reconstruct from the wire. Kinds not listed — in particular the SAC
+// share/subtotal/audit traffic, which must stay bit-exact — are
+// untouched. Call between rounds, not concurrently with Send.
+func (m *Mesh) SetCompression(cfg compress.Config, kinds ...string) error {
+	comp, err := newCompression(cfg, kinds)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.comp = comp
+	return nil
 }
 
 // Crash marks a peer as crashed: it can no longer send, and messages to
@@ -264,12 +286,23 @@ func (m *Mesh) Send(msg Message) error {
 	if m.crashed[msg.From] {
 		return fmt.Errorf("transport: %w: peer %d", ErrCrashed, msg.From)
 	}
-	m.counter.Record(msg.Kind, msg.WireBytes())
+	wireBytes := msg.WireBytes()
+	if m.comp.applies(msg.Kind) {
+		d, err := m.comp.cfg.Compress(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("transport: compress %s: %w", msg.Kind, err)
+		}
+		wireBytes = d.EncodedBytes()
+		m.tel.bytesSaved.Add(msg.WireBytes() - wireBytes)
+		// Deliver what the receiver could reconstruct from the wire.
+		msg.Payload = d.Dense(nil)
+	}
+	m.counter.Record(msg.Kind, wireBytes)
 	m.tel.msgsSent.Inc()
-	m.tel.bytesSent.Add(msg.WireBytes())
+	m.tel.bytesSent.Add(wireBytes)
 	if m.tel.peerMsgs != nil {
 		m.tel.peerMsgs[msg.From].Inc()
-		m.tel.peerBytes[msg.From].Add(msg.WireBytes())
+		m.tel.peerBytes[msg.From].Add(wireBytes)
 	}
 	if m.observer != nil {
 		m.observer(msg)
@@ -302,6 +335,35 @@ func (m *Mesh) check(peer int) error {
 		return fmt.Errorf("transport: peer %d out of [0,%d)", peer, m.n)
 	}
 	return nil
+}
+
+// compression is the shared per-fabric compression state: a validated
+// config plus the set of message kinds it applies to. A nil *compression
+// means "off" — the hot send path pays one nil check.
+type compression struct {
+	cfg   compress.Config
+	kinds map[string]bool
+}
+
+// applies reports whether messages of this kind are compressed.
+func (c *compression) applies(kind string) bool {
+	return c != nil && c.kinds[kind]
+}
+
+// newCompression validates and builds the per-fabric state; it returns
+// nil (off) when the config is None or no kinds are listed.
+func newCompression(cfg compress.Config, kinds []string) (*compression, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() || len(kinds) == 0 {
+		return nil, nil
+	}
+	set := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		set[k] = true
+	}
+	return &compression{cfg: cfg, kinds: set}, nil
 }
 
 // ErrCrashed is returned when a crashed peer attempts to send.

@@ -90,7 +90,7 @@ func ReadCheckpointFrame(r io.Reader) (Checkpoint, error) {
 		return Checkpoint{}, err
 	}
 	if kind != KindCheckpoint {
-		return Checkpoint{}, fmt.Errorf("%w: kind %d, want checkpoint", ErrBadFrame, kind)
+		return Checkpoint{}, fmt.Errorf("%w: kind %s, want %s", ErrBadFrame, kind, KindCheckpoint)
 	}
 	return DecodeCheckpointPayload(payload)
 }

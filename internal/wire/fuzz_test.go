@@ -20,6 +20,14 @@ func FuzzWireRoundTrip(f *testing.F) {
 		Entries: []raft.Entry{{Index: 1, Term: 3, Data: []byte("d")}}}))
 	f.Add(AppendMeshFrame(nil, MeshMessage{From: 1, To: 2, Kind: "sac/share", ShareIdx: 1, Payload: []float64{1, 2}}))
 	f.Add(AppendCheckpointFrame(nil, Checkpoint{Names: []string{"w"}, Sizes: []int{1}, Weights: []float64{0.5}}))
+	f.Add(AppendQuantFrame(nil, MeshMessage{From: 1, To: 2, Kind: "fedavg/download"},
+		QuantDelta{Width: 1, Scale: 0.5, Q: []int16{1, -2, 3}}))
+	f.Add(AppendSparseFrame(nil, MeshMessage{From: 1, To: 2, Kind: "fedavg/download"},
+		SparseDelta{Dim: 8, Idx: []int32{1, 6}, Width: 0, Vals: []float64{0.5, -0.25}}))
+	f.Add(AppendSparseFrame(nil, MeshMessage{From: 1, To: 2, Kind: "fedavg/download"},
+		SparseDelta{Dim: 8, Idx: []int32{0, 7}, Width: 2, Scale: 0.125, Q: []int16{300, -300}}))
+	f.Add(AppendQuantCheckpointFrame(nil, QuantCheckpoint{Names: []string{"w"}, Sizes: []int{2},
+		Delta: QuantDelta{Width: 2, Scale: 0.25, Q: []int16{5, -5}}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		kind, n, err := ParseHeader(data)
 		if err != nil {
@@ -60,6 +68,33 @@ func FuzzWireRoundTrip(f *testing.F) {
 			re := AppendCheckpointFrame(nil, cp)
 			if !bytes.Equal(re[HeaderSize:], payload) {
 				t.Fatalf("checkpoint re-encode differs")
+			}
+		case KindDeltaQuant:
+			m, q, err := DecodeQuantPayload(payload)
+			if err != nil {
+				return
+			}
+			re := AppendQuantFrame(nil, m, q)
+			if !bytes.Equal(re[HeaderSize:], payload) {
+				t.Fatalf("quant re-encode differs:\n in  % x\n out % x", payload, re[HeaderSize:])
+			}
+		case KindDeltaSparse:
+			m, s, err := DecodeSparsePayload(payload)
+			if err != nil {
+				return
+			}
+			re := AppendSparseFrame(nil, m, s)
+			if !bytes.Equal(re[HeaderSize:], payload) {
+				t.Fatalf("sparse re-encode differs:\n in  % x\n out % x", payload, re[HeaderSize:])
+			}
+		case KindCheckpointQuant:
+			qcp, err := DecodeQuantCheckpointPayload(payload)
+			if err != nil {
+				return
+			}
+			re := AppendQuantCheckpointFrame(nil, qcp)
+			if !bytes.Equal(re[HeaderSize:], payload) {
+				t.Fatalf("quant checkpoint re-encode differs")
 			}
 		}
 	})

@@ -40,11 +40,28 @@ func goldenFrames() map[string][]byte {
 		Sizes:   []int{3, 2, 4},
 		Weights: []float64{0.1, -0.2, 0.3, 0.4, -0.5, 1.5, -2.5, 0.75, 0.125},
 	}
+	quant := MeshMessage{From: 1, To: 3, Kind: "fedavg/download", ShareIdx: -1}
+	q8 := QuantDelta{Width: 1, Scale: 0.0078125, Q: []int16{127, -128, 0, 64, -1}}
+	q16 := QuantDelta{Width: 2, Scale: 3.0517578125e-05, Q: []int16{32767, -32768, 0, 12345, -7}}
+	sparse := SparseDelta{Dim: 16, Idx: []int32{0, 3, 7, 15}, Width: 0,
+		Vals: []float64{-0.5, 1.25, 1e-9, 2.0}}
+	sparseQ := SparseDelta{Dim: 16, Idx: []int32{2, 5, 11}, Width: 1,
+		Scale: 0.015625, Q: []int16{-128, 127, 3}}
+	qcp := QuantCheckpoint{
+		Names: []string{"conv0/W", "dense1/W"},
+		Sizes: []int{3, 2},
+		Delta: QuantDelta{Width: 2, Scale: 6.103515625e-05, Q: []int16{100, -200, 300, -400, 500}},
+	}
 	return map[string][]byte{
-		"raft_append_v1.wire":   AppendRaftFrame(nil, raftMsg),
-		"raft_snapshot_v1.wire": AppendRaftFrame(nil, snapMsg),
-		"mesh_share_v1.wire":    AppendMeshFrame(nil, mesh),
-		"checkpoint_v1.wire":    AppendCheckpointFrame(nil, cp),
+		"raft_append_v1.wire":      AppendRaftFrame(nil, raftMsg),
+		"raft_snapshot_v1.wire":    AppendRaftFrame(nil, snapMsg),
+		"mesh_share_v1.wire":       AppendMeshFrame(nil, mesh),
+		"checkpoint_v1.wire":       AppendCheckpointFrame(nil, cp),
+		"delta_quant8_v1.wire":     AppendQuantFrame(nil, quant, q8),
+		"delta_quant16_v1.wire":    AppendQuantFrame(nil, quant, q16),
+		"delta_sparse_v1.wire":     AppendSparseFrame(nil, quant, sparse),
+		"delta_sparse_q8_v1.wire":  AppendSparseFrame(nil, quant, sparseQ),
+		"checkpoint_quant_v1.wire": AppendQuantCheckpointFrame(nil, qcp),
 	}
 }
 
@@ -101,6 +118,30 @@ func TestGoldenWireFiles(t *testing.T) {
 				t.Fatalf("%s: decode: %v", name, err)
 			}
 			if re := AppendCheckpointFrame(nil, cp); !bytes.Equal(re, want) {
+				t.Errorf("%s: decode→re-encode not byte-identical", name)
+			}
+		case KindDeltaQuant:
+			m, q, err := DecodeQuantPayload(want[HeaderSize:])
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if re := AppendQuantFrame(nil, m, q); !bytes.Equal(re, want) {
+				t.Errorf("%s: decode→re-encode not byte-identical", name)
+			}
+		case KindDeltaSparse:
+			m, s, err := DecodeSparsePayload(want[HeaderSize:])
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if re := AppendSparseFrame(nil, m, s); !bytes.Equal(re, want) {
+				t.Errorf("%s: decode→re-encode not byte-identical", name)
+			}
+		case KindCheckpointQuant:
+			qcp, err := DecodeQuantCheckpointPayload(want[HeaderSize:])
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if re := AppendQuantCheckpointFrame(nil, qcp); !bytes.Equal(re, want) {
 				t.Errorf("%s: decode→re-encode not byte-identical", name)
 			}
 		}

@@ -81,7 +81,7 @@ func ReadMeshFrame(r io.Reader, scratch []byte) (MeshMessage, []byte, error) {
 		return MeshMessage{}, scratch, err
 	}
 	if kind != KindMesh {
-		return MeshMessage{}, scratch, fmt.Errorf("%w: kind %d, want mesh", ErrBadFrame, kind)
+		return MeshMessage{}, scratch, fmt.Errorf("%w: kind %s, want %s", ErrBadFrame, kind, KindMesh)
 	}
 	m, err := DecodeMeshPayload(payload)
 	return m, scratch, err

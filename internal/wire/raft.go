@@ -191,7 +191,7 @@ func ReadRaftFrame(r io.Reader, scratch []byte) (raft.Message, []byte, error) {
 		return raft.Message{}, scratch, err
 	}
 	if kind != KindRaft {
-		return raft.Message{}, scratch, fmt.Errorf("%w: kind %d, want raft", ErrBadFrame, kind)
+		return raft.Message{}, scratch, fmt.Errorf("%w: kind %s, want %s", ErrBadFrame, kind, KindRaft)
 	}
 	m, err := DecodeRaftPayload(payload)
 	return m, scratch, err
@@ -205,7 +205,7 @@ func ReadRaftFrame(r io.Reader, scratch []byte) (raft.Message, []byte, error) {
 const framePrealloc = 64 << 10
 
 // readFrame reads one header + payload from r into scratch.
-func readFrame(r io.Reader, scratch []byte) (kind byte, payload, grown []byte, err error) {
+func readFrame(r io.Reader, scratch []byte) (kind Kind, payload, grown []byte, err error) {
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, scratch, err

@@ -49,16 +49,51 @@ const (
 	HeaderSize = 12
 )
 
-// Payload kinds.
+// Kind identifies a frame's payload layout. It prints as the kind
+// name ("raft", "mesh", …) so decoder errors and debug dumps stay
+// readable; unknown values print as "kind(0xNN)".
+type Kind byte
+
+// Payload kinds. Kinds 1–3 are the original (v1) set; 4–6 are the v2
+// compressed model-delta set (see delta.go).
 const (
 	// KindRaft frames carry one raft.Message.
-	KindRaft byte = 1
+	KindRaft Kind = 1
 	// KindMesh frames carry one transport mesh message (SAC shares,
 	// subtotals, recovery traffic).
-	KindMesh byte = 2
+	KindMesh Kind = 2
 	// KindCheckpoint frames carry one nn model checkpoint.
-	KindCheckpoint byte = 3
+	KindCheckpoint Kind = 3
+	// KindDeltaQuant frames carry one mesh message whose model-delta
+	// vector is fixed-point quantized (int8/int16 + per-tensor scale).
+	KindDeltaQuant Kind = 4
+	// KindDeltaSparse frames carry one mesh message whose model-delta
+	// vector is top-k sparsified (index block + values, optionally
+	// quantized).
+	KindDeltaSparse Kind = 5
+	// KindCheckpointQuant frames carry one nn model checkpoint with
+	// fixed-point quantized weights.
+	KindCheckpointQuant Kind = 6
 )
+
+// String returns the kind's wire-format name.
+func (k Kind) String() string {
+	switch k {
+	case KindRaft:
+		return "raft"
+	case KindMesh:
+		return "mesh"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindDeltaQuant:
+		return "delta-quant"
+	case KindDeltaSparse:
+		return "delta-sparse"
+	case KindCheckpointQuant:
+		return "checkpoint-quant"
+	}
+	return fmt.Sprintf("kind(0x%02x)", byte(k))
+}
 
 // MaxPayload bounds a single frame's payload: 1 GiB is far above any
 // real model (a 16M-parameter vector is 128 MiB) but small enough that
@@ -80,15 +115,15 @@ var (
 
 // AppendHeader appends a frame header for a payload of payloadLen bytes
 // and the given kind.
-func AppendHeader(dst []byte, kind byte, payloadLen int) []byte {
+func AppendHeader(dst []byte, kind Kind, payloadLen int) []byte {
 	dst = append(dst, Magic...)
-	dst = append(dst, Version, kind, 0, 0)
+	dst = append(dst, Version, byte(kind), 0, 0)
 	return binary.LittleEndian.AppendUint32(dst, uint32(payloadLen))
 }
 
 // ParseHeader validates a 12-byte frame header and returns its kind and
 // payload length.
-func ParseHeader(h []byte) (kind byte, payloadLen int, err error) {
+func ParseHeader(h []byte) (kind Kind, payloadLen int, err error) {
 	if len(h) < HeaderSize {
 		return 0, 0, fmt.Errorf("%w: header is %d bytes, want %d", ErrTruncated, len(h), HeaderSize)
 	}
@@ -105,7 +140,17 @@ func ParseHeader(h []byte) (kind byte, payloadLen int, err error) {
 	if n > MaxPayload {
 		return 0, 0, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, n, MaxPayload)
 	}
-	return h[5], int(n), nil
+	return Kind(h[5]), int(n), nil
+}
+
+// DebugHeader formats a frame header for logs and error dumps, e.g.
+// "P2FW v1 mesh 52B". Malformed headers format as the validation error.
+func DebugHeader(h []byte) string {
+	kind, n, err := ParseHeader(h)
+	if err != nil {
+		return fmt.Sprintf("invalid frame header (%v)", err)
+	}
+	return fmt.Sprintf("%s v%d %s %dB", Magic, h[4], kind, n)
 }
 
 // ---- primitive appenders ----
