@@ -16,7 +16,7 @@ TELEMETRY_PAIRS := 'RaftTickLive=RaftTickNil,SACRoundLive=SACRoundNil,RaftTCPSen
 WIRE_PAIRS := 'EncodeModelWire=EncodeModelGob@0.5,allocs:SACRoundAllocsPooled=SACRoundAllocsFresh@0.5'
 COMPRESS_PAIRS := 'bytes:EncodeDeltaQuant8=EncodeDeltaFloat64@0.25,allocs:DivideParallel/dim1e6=DivideSerial/dim1e6@1.0'
 
-.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry test-health test-wire test-byzantine test-compress
+.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry test-health test-wire test-byzantine test-compress test-wan
 
 all: check
 
@@ -35,6 +35,7 @@ race:
 	$(GO) run -race ./cmd/p2pfl-chaos -seed 1 -target two-layer -steps 12
 	$(GO) run -race ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix flap -detector -steps 12
 	$(GO) run -race ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix byzantine -n 4 -steps 12
+	$(GO) run -race ./cmd/p2pfl-chaos -wan -seeds 5
 
 # 30-second deterministic chaos sweep. The start seed is pinned so CI
 # failures reproduce locally: any red seed reruns exactly with
@@ -45,6 +46,18 @@ chaos-smoke:
 	$(GO) run ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix flap -detector -steps 12
 	$(GO) run ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix byzantine -n 4 -steps 12
 	$(GO) run ./cmd/p2pfl-chaos -seed 1 -byzantine -steps 12
+	$(GO) run ./cmd/p2pfl-chaos -seed 1 -target two-layer -topology wan50 -prevote -checkquorum -steps 12
+
+# WAN/multi-region profile suite under -race: latency topologies, the
+# raft pre-vote/check-quorum/lease safety tests, the RTT-driven timeout
+# tuner, the WAN-tuned cluster failover bound, and the 20-seed WAN
+# stability sweep with its flags-off spurious-election contrast
+# (DESIGN.md §13). The sweep also runs standalone via
+#   go run ./cmd/p2pfl-chaos -wan -seeds 20 -v
+test-wan:
+	$(GO) test -race ./internal/simnet/ ./internal/health/
+	$(GO) test -race -run 'WAN|PreVote|CheckQuorum|ReadIndex|Tuning|Topology|Jitter|Preset|Metrics' \
+		./internal/raft/ ./internal/cluster/ ./internal/chaos/ ./cmd/p2pfl-node/
 
 bench:
 	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -write

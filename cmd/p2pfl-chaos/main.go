@@ -15,6 +15,14 @@
 //	p2pfl-chaos -byzantine -seed 11            Byzantine oracle rounds on any
 //	                                           campaign (robustness, detection,
 //	                                           equivocation, privacy, sharpness)
+//	p2pfl-chaos -topology wan50 -prevote -checkquorum
+//	                                           campaign on the multi-region WAN
+//	                                           latency model with the stability
+//	                                           flags armed
+//	p2pfl-chaos -wan -seeds 20                 WAN stability sweep: flags-on must
+//	                                           stay election-quiet with bounded
+//	                                           failover, flags-off must show the
+//	                                           spurious elections the flags fix
 //	p2pfl-chaos -soak 30s                      seed sweep until the wall clock runs out
 //	p2pfl-chaos -seed 9 -out fail.json         dump a replay file for the run
 //	p2pfl-chaos -replay fail.json              re-execute a dumped schedule exactly
@@ -47,6 +55,11 @@ func main() {
 		nodes   = flag.Int("nodes", 5, "raft group size (raft-kv target)")
 		m       = flag.Int("m", 3, "number of subgroups (two-layer target)")
 		n       = flag.Int("n", 3, "peers per subgroup (two-layer target)")
+		topo    = flag.String("topology", "", "latency preset replacing the uniform 15 ms link: lan15 | wan50 | wan200")
+		prevote = flag.Bool("prevote", false, "enable raft pre-vote on every node")
+		chkq    = flag.Bool("checkquorum", false, "enable raft check-quorum on every node")
+		wan     = flag.Bool("wan", false, "run the WAN stability sweep instead of a fault campaign")
+		seeds   = flag.Int("seeds", 20, "number of consecutive seeds in the -wan sweep")
 		soak    = flag.Duration("soak", 0, "keep running campaigns with consecutive seeds for this long")
 		out     = flag.String("out", "chaos-replay.json", "replay file written on failure (or with -dump)")
 		dump    = flag.Bool("dump", false, "write the replay file even when the campaign passes")
@@ -69,8 +82,16 @@ func main() {
 		return
 	}
 
+	if *wan {
+		runWANSweep(*seed, *seeds, *verbose)
+		return
+	}
+
 	base := campaign(*seed, *steps, *mix, *target, *nodes, *m, *n)
 	base.Detector = *detect
+	base.Topology = *topo
+	base.PreVote = *prevote
+	base.CheckQuorum = *chkq
 	if *byz {
 		base.Byzantine = true
 	}
@@ -91,6 +112,51 @@ func main() {
 	}
 	fmt.Printf("soak: %d campaigns (seeds %d..%d) in %v, all invariants held\n",
 		ran, *seed, *seed+int64(ran-1), time.Since(start).Round(time.Millisecond))
+}
+
+// runWANSweep is the -wan mode: the ISSUE's two-sided acceptance check.
+// Seeds seed..seed+n-1 run the 50 ms WAN stability scenario twice — with
+// pre-vote, check-quorum, leases and auto-tuning armed (must be
+// election-quiet with bounded failover) and with everything off (must
+// show at least one spurious election across the sweep, or the checker
+// proves nothing). Any flags-on violation or a vacuous flags-off sweep
+// exits 1.
+func runWANSweep(seed int64, n int, verbose bool) {
+	failed := false
+	spuriousOff := 0
+	for i := 0; i < n; i++ {
+		s := seed + int64(i)
+		on, err := chaos.RunWANStability(chaos.StabilityOptions{
+			Seed: s, PreVote: true, CheckQuorum: true, LeaderLease: true, AutoTune: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !on.Passed() {
+			failed = true
+			fmt.Printf("seed %-6d wan FAIL\n", s)
+			for _, v := range on.Violations {
+				fmt.Printf("  %s\n", v)
+			}
+		} else if verbose {
+			fmt.Printf("seed %-6d wan PASS: 0 spurious elections, failover %d ticks (bound %d)\n",
+				s, on.FailoverTicks, on.FailoverBound)
+		}
+		off, err := chaos.RunWANStability(chaos.StabilityOptions{Seed: s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		spuriousOff += off.SpuriousElections
+	}
+	if spuriousOff == 0 {
+		fmt.Printf("wan sweep: flags-off control showed zero spurious elections across %d seeds — checker is vacuous\n", n)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("wan sweep: %d seeds quiet with flags on; flags-off control: %d spurious elections\n",
+		n, spuriousOff)
 }
 
 func campaign(seed int64, steps int, mix, target string, nodes, m, n int) chaos.Campaign {

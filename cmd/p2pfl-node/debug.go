@@ -21,17 +21,26 @@ type healthView struct {
 
 // newDebugMux builds the node's debug HTTP surface. /debug/telemetry
 // serves the registry's JSON snapshot — counters, gauges, histograms
-// and the recent trace ring; /debug/health serves the failure
+// and the recent trace ring; /debug/metrics serves the same registry in
+// the Prometheus text exposition format (0.0.4) so a fleet scrapes
+// nodes with stock Prometheus; /debug/health serves the failure
 // detector's current verdicts and the transport circuit breakers — so
 // an operator can watch a live node without attaching a debugger:
 //
 //	curl -s http://127.0.0.1:6060/debug/telemetry | jq .counters
+//	curl -s http://127.0.0.1:6060/debug/metrics
 //	curl -s http://127.0.0.1:6060/debug/health
 func newDebugMux(reg *telemetry.Registry, id uint64, det *health.Detector, tr *transport.RaftTCP) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+		if err := reg.WritePrometheus(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

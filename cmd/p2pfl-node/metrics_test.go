@@ -1,0 +1,341 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// promFamily is one metric family reconstructed by the grammar checker.
+type promFamily struct {
+	typ     string // counter | gauge | histogram
+	hasHelp bool
+	samples []promSample
+}
+
+type promSample struct {
+	name   string // full sample name (may carry _bucket/_sum/_count)
+	labels map[string]string
+	value  float64
+}
+
+func isPromNameStart(r byte) bool {
+	return r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}
+
+func isPromNameRune(r byte) bool {
+	return isPromNameStart(r) || (r >= '0' && r <= '9')
+}
+
+func validPromName(s string) bool {
+	if s == "" || !isPromNameStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isPromNameRune(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromText is a hand-rolled checker for the text exposition format
+// (version 0.0.4): it validates every line and reconstructs metric
+// families, failing on anything a real Prometheus scraper would reject.
+func parsePromText(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	families := map[string]*promFamily{}
+	get := func(name string) *promFamily {
+		f, ok := families[name]
+		if !ok {
+			f = &promFamily{}
+			families[name] = f
+		}
+		return f
+	}
+
+	for lineNo, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !validPromName(name) {
+				t.Fatalf("line %d: malformed HELP line %q", lineNo+1, line)
+			}
+			get(name).hasHelp = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !validPromName(name) {
+				t.Fatalf("line %d: malformed TYPE line %q", lineNo+1, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: invalid metric type %q", lineNo+1, typ)
+			}
+			f := get(name)
+			if f.typ != "" {
+				t.Fatalf("line %d: duplicate TYPE for %q", lineNo+1, name)
+			}
+			if len(f.samples) > 0 {
+				t.Fatalf("line %d: TYPE for %q after its samples", lineNo+1, name)
+			}
+			f.typ = typ
+		case strings.HasPrefix(line, "#"):
+			// Bare comments are legal.
+		default:
+			s := parsePromSample(t, lineNo+1, line)
+			base := s.name
+			for _, suffix := range []string{"_bucket", "_sum", "_count", "_total"} {
+				if trimmed, ok := strings.CutSuffix(base, suffix); ok {
+					if _, isFam := families[s.name]; suffix == "_total" && isFam {
+						break // counter families are registered with _total
+					}
+					base = trimmed
+					break
+				}
+			}
+			f, ok := families[base]
+			if !ok {
+				f, ok = families[s.name]
+				base = s.name
+			}
+			if !ok {
+				t.Fatalf("line %d: sample %q has no TYPE/HELP family", lineNo+1, s.name)
+			}
+			f.samples = append(f.samples, s)
+		}
+	}
+	return families
+}
+
+func parsePromSample(t *testing.T, lineNo int, line string) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	// Metric name.
+	i := 0
+	for i < len(rest) && isPromNameRune(rest[i]) {
+		i++
+	}
+	s.name = rest[:i]
+	if !validPromName(s.name) {
+		t.Fatalf("line %d: invalid metric name in %q", lineNo, line)
+	}
+	rest = rest[i:]
+	// Optional label set.
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			t.Fatalf("line %d: unterminated label set in %q", lineNo, line)
+		}
+		for _, pair := range strings.Split(rest[1:end], ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || !validPromName(k) || strings.Contains(k, ":") {
+				t.Fatalf("line %d: malformed label pair %q in %q", lineNo, pair, line)
+			}
+			unq, err := strconv.Unquote(v)
+			if err != nil {
+				t.Fatalf("line %d: label value %q not a quoted string: %v", lineNo, v, err)
+			}
+			s.labels[k] = unq
+		}
+		rest = rest[end+1:]
+	}
+	// Value (a space then a float; +Inf/NaN allowed).
+	rest = strings.TrimPrefix(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		t.Fatalf("line %d: malformed sample %q", lineNo, line)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		t.Fatalf("line %d: bad sample value %q: %v", lineNo, fields[0], err)
+	}
+	s.value = v
+	return s
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// TestDebugMetricsGolden pins the Prometheus exposition of the pinned
+// registry to a golden file and validates it against the hand-rolled
+// text-format grammar: HELP/TYPE before samples, valid names and label
+// syntax, cumulative histogram buckets, +Inf bucket equal to _count.
+func TestDebugMetricsGolden(t *testing.T) {
+	srv := httptest.NewServer(newDebugMux(populatedRegistry(), 1, nil, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.PrometheusContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, telemetry.PrometheusContentType)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with `go test -run Golden -update ./cmd/p2pfl-node`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("/debug/metrics drifted from golden exposition\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	families := parsePromText(t, string(got))
+	lintPromFamilies(t, families)
+
+	// Spot-check the pinned registry's content survived the mapping.
+	cnt, ok := families["p2pfl_raft_elections_won_total"]
+	if !ok || cnt.typ != "counter" || len(cnt.samples) != 1 || cnt.samples[0].value != 3 {
+		t.Errorf("p2pfl_raft_elections_won_total family wrong: %+v", cnt)
+	}
+	hist, ok := families["p2pfl_sac_phase_share_us"]
+	if !ok || hist.typ != "histogram" {
+		t.Fatalf("p2pfl_sac_phase_share_us family missing or wrong type: %+v", hist)
+	}
+	checkHistogramShape(t, "p2pfl_sac_phase_share_us", hist)
+}
+
+// checkHistogramShape asserts cumulative buckets: values non-decreasing
+// in le order, a +Inf bucket present and equal to _count.
+func checkHistogramShape(t *testing.T, name string, f *promFamily) {
+	t.Helper()
+	var count float64
+	haveCount := false
+	var prev float64
+	var lastLe float64 = -1
+	sawInf := false
+	var infVal float64
+	for _, s := range f.samples {
+		switch s.name {
+		case name + "_count":
+			count, haveCount = s.value, true
+		case name + "_bucket":
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Fatalf("%s_bucket sample without le label", name)
+			}
+			if le == "+Inf" {
+				sawInf, infVal = true, s.value
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("%s_bucket le=%q not a float: %v", name, le, err)
+			}
+			if bound <= lastLe {
+				t.Errorf("%s buckets out of order: le=%v after le=%v", name, bound, lastLe)
+			}
+			if s.value < prev {
+				t.Errorf("%s buckets not cumulative: %v after %v", name, s.value, prev)
+			}
+			prev, lastLe = s.value, bound
+		}
+	}
+	if !haveCount {
+		t.Fatalf("%s has no _count sample", name)
+	}
+	if !sawInf {
+		t.Fatalf("%s has no +Inf bucket", name)
+	}
+	if infVal != count {
+		t.Errorf("%s +Inf bucket %v != _count %v", name, infVal, count)
+	}
+	if prev > count {
+		t.Errorf("%s largest finite bucket %v exceeds _count %v", name, prev, count)
+	}
+}
+
+// lintPromFamilies is the promtool-style naming lint: every family has
+// HELP and TYPE, counter families end in _total, non-counters do not,
+// names stay in the conventional lowercase charset with the p2pfl
+// namespace, and histogram reserved suffixes are not abused.
+func lintPromFamilies(t *testing.T, families map[string]*promFamily) {
+	t.Helper()
+	for name, f := range families {
+		if f.typ == "" {
+			t.Errorf("lint: family %q has samples but no TYPE", name)
+			continue
+		}
+		if !f.hasHelp {
+			t.Errorf("lint: family %q has no HELP", name)
+		}
+		if !strings.HasPrefix(name, "p2pfl_") {
+			t.Errorf("lint: family %q outside the p2pfl namespace", name)
+		}
+		if strings.ToLower(name) != name {
+			t.Errorf("lint: family %q is not lowercase", name)
+		}
+		switch f.typ {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				t.Errorf("lint: counter %q does not end in _total", name)
+			}
+		case "gauge", "histogram":
+			if strings.HasSuffix(name, "_total") {
+				// promtool lints this as a warning, not an error: a gauge
+				// legitimately named "…_weight_total" (a summed quantity,
+				// not a monotone count) is allowed through.
+				t.Logf("lint warning: %s %q ends in _total", f.typ, name)
+			}
+		}
+		if f.typ != "histogram" {
+			for _, s := range f.samples {
+				if strings.HasSuffix(s.name, "_bucket") {
+					t.Errorf("lint: non-histogram %q emits _bucket sample %q", name, s.name)
+				}
+			}
+		}
+		if len(f.samples) == 0 {
+			t.Errorf("lint: family %q has metadata but no samples", name)
+		}
+		for _, s := range f.samples {
+			for k := range s.labels {
+				if strings.HasPrefix(k, "__") {
+					t.Errorf("lint: label %q on %q uses the reserved __ prefix", k, s.name)
+				}
+			}
+		}
+	}
+}

@@ -222,6 +222,15 @@ type Campaign struct {
 	// LatencyUs is the one-way link latency in virtual microseconds
 	// (default 15 ms, as in the paper).
 	LatencyUs int64 `json:"latency_us,omitempty"`
+	// Topology, when non-empty, names a simnet latency preset ("lan15",
+	// "wan50", "wan200") that replaces the uniform LatencyUs delay on
+	// every raft network with a multi-region delay matrix plus jitter.
+	// Serialized into replay files: a WAN campaign replays as one.
+	Topology string `json:"topology,omitempty"`
+	// PreVote/CheckQuorum arm the raft WAN-stability flags on every node
+	// in the campaign (default off — stock paper behavior).
+	PreVote     bool `json:"pre_vote,omitempty"`
+	CheckQuorum bool `json:"check_quorum,omitempty"`
 
 	// StepEveryUs spaces fault actions (default 200 ms virtual).
 	StepEveryUs int64 `json:"step_every_us,omitempty"`
@@ -413,6 +422,14 @@ func (c Campaign) Run() *Report { return c.Execute(c.Generate()) }
 func (c Campaign) Execute(actions []Action) *Report {
 	n := c.normalize()
 	rep := &Report{Campaign: c, Actions: actions}
+	if n.Topology != "" {
+		if _, err := simnet.Preset(n.Topology); err != nil {
+			rep.Violations = append(rep.Violations, Violation{
+				Invariant: "config", Detail: err.Error(),
+			})
+			return rep
+		}
+	}
 	switch n.Target {
 	case TargetTwoLayer:
 		executeTwoLayer(n, actions, rep)

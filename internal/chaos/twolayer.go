@@ -59,6 +59,13 @@ type twWorld struct {
 
 // executeTwoLayer runs one schedule against a fresh two-layer cluster.
 func executeTwoLayer(c Campaign, actions []Action, rep *Report) {
+	var topo *simnet.Topology
+	if c.Topology != "" {
+		var err error
+		if topo, err = simnet.Preset(c.Topology); err != nil {
+			panic(fmt.Sprintf("chaos: %v", err)) // Execute validates the name up front
+		}
+	}
 	sys, err := cluster.New(cluster.Options{
 		NumSubgroups:    c.Subgroups,
 		SubgroupSize:    c.SubgroupSize,
@@ -66,6 +73,9 @@ func executeTwoLayer(c Campaign, actions []Action, rep *Report) {
 		ElectionTickMax: c.ElectionTickMax,
 		HeartbeatTick:   c.HeartbeatTick,
 		Latency:         simnet.Duration(c.LatencyUs),
+		Topology:        topo,
+		PreVote:         c.PreVote,
+		CheckQuorum:     c.CheckQuorum,
 		Seed:            c.Seed,
 		Detector:        c.Detector,
 		Telemetry:       c.Telemetry, // cluster.New pins its clock to the sim

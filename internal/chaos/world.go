@@ -53,6 +53,8 @@ func (w *kvWorld) nodeConfig(id uint64, peers []uint64) raft.Config {
 		ElectionTickMin:   w.c.ElectionTickMin,
 		ElectionTickMax:   w.c.ElectionTickMax,
 		HeartbeatTick:     w.c.HeartbeatTick,
+		PreVote:           w.c.PreVote,
+		CheckQuorum:       w.c.CheckQuorum,
 		Rng:               w.nodeRng(id),
 		SnapshotThreshold: 64,
 		SnapshotState:     st.Snapshot,
@@ -97,6 +99,13 @@ func newKVWorld(c Campaign, rep *Report) *kvWorld {
 	c.Telemetry.SetClock(func() int64 { return int64(w.sim.Now()) })
 	w.g = simnet.NewGroup(w.sim, "chaos", simnet.Duration(c.LatencyUs),
 		rand.New(rand.NewSource(c.Seed^0x51ed2701)))
+	if c.Topology != "" {
+		topo, err := simnet.Preset(c.Topology)
+		if err != nil {
+			panic(fmt.Sprintf("chaos: %v", err)) // Execute validates the name up front
+		}
+		w.g.Topo = topo
+	}
 	peers := make([]uint64, c.Nodes)
 	for i := range peers {
 		peers[i] = uint64(i + 1)

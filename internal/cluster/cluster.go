@@ -76,6 +76,28 @@ type Options struct {
 
 	// Latency is the one-way link delay (paper: 15 ms).
 	Latency simnet.Duration
+	// Topology, when non-nil, replaces the uniform Latency with a
+	// multi-region latency model on every subgroup network and the
+	// FedAvg layer (see simnet.Topology / simnet.Preset). Hosts map to
+	// regions round-robin by peer ID unless assigned explicitly. The
+	// app-level join/accept messages keep using Latency.
+	Topology *simnet.Topology
+
+	// PreVote / CheckQuorum / LeaderLease thread the raft WAN-stability
+	// flags (see raft.Config) into every subgroup and FedAvg-layer node.
+	// All default off: existing seeds replay unchanged.
+	PreVote     bool
+	CheckQuorum bool
+	LeaderLease bool
+	// AutoTune arms the health→raft feedback loop: every peer tracks
+	// per-sender RTTs from delivered messages and retunes its election
+	// timeout band every AutoTuneInterval (default 500 ms) via
+	// health.Tuning (10× the p99 RTT, clamped). Independent of Detector
+	// — tuning slows elections down to WAN-safe bands, while the
+	// detector's proactive campaigns speed crash recovery up; a
+	// deployment can run either or both.
+	AutoTune         bool
+	AutoTuneInterval simnet.Duration
 	// ConfigCommitInterval is how often subgroup leaders commit the
 	// FedAvg-layer configuration to their subgroup log (default 50 ms).
 	ConfigCommitInterval simnet.Duration
@@ -141,6 +163,9 @@ func (o *Options) normalize() error {
 	if o.Latency < 0 {
 		return fmt.Errorf("cluster: negative latency")
 	}
+	if o.AutoTuneInterval <= 0 {
+		o.AutoTuneInterval = 500 * simnet.Millisecond
+	}
 	if o.ConfigCommitInterval <= 0 {
 		o.ConfigCommitInterval = 50 * simnet.Millisecond
 	}
@@ -172,6 +197,10 @@ type Peer struct {
 
 	det     *health.Detector
 	detLoop bool
+
+	// rtt tracks per-sender round-trip times observed from delivered raft
+	// traffic; the AutoTune loop derives election timeout bands from it.
+	rtt *health.RTTStats
 }
 
 // Down reports whether the peer has crashed.
@@ -193,6 +222,11 @@ func (p *Peer) FedStatus() (raft.Status, bool) {
 	}
 	return p.fedHost.Node.Status(), true
 }
+
+// ElectionTicks returns the peer's subgroup node's current election
+// timeout band — the stock Options band until the AutoTune loop retunes
+// it from observed RTTs.
+func (p *Peer) ElectionTicks() (min, max int) { return p.subHost.Node.ElectionTicks() }
 
 // IsSubgroupLeader reports whether the peer currently leads its subgroup.
 func (p *Peer) IsSubgroupLeader() bool {
@@ -259,6 +293,12 @@ func New(opts Options) (*System, error) {
 	id := uint64(1)
 	for g, size := range opts.Sizes {
 		group := simnet.NewGroup(s.Sim, fmt.Sprintf("subgroup-%d", g), opts.Latency, rand.New(rand.NewSource(opts.Seed*31+int64(g))))
+		group.Topo = opts.Topology
+		if opts.AutoTune {
+			group.OnDeliver = func(m raft.Message, oneWay simnet.Duration) {
+				s.observeRTT(m.To, m.From, oneWay)
+			}
+		}
 		var ids []uint64
 		for i := 0; i < size; i++ {
 			ids = append(ids, id)
@@ -267,7 +307,10 @@ func New(opts Options) (*System, error) {
 		s.bySub = append(s.bySub, ids)
 		for _, pid := range ids {
 			p := &Peer{ID: pid, Subgroup: g, sys: s}
-			cfg := raft.Config{
+			if opts.AutoTune {
+				p.rtt = health.NewRTTStats(0)
+			}
+			cfg := s.raftFlags(raft.Config{
 				ID:              pid,
 				Peers:           ids,
 				ElectionTickMin: opts.ElectionTickMin,
@@ -275,7 +318,7 @@ func New(opts Options) (*System, error) {
 				HeartbeatTick:   opts.HeartbeatTick,
 				Rng:             rand.New(rand.NewSource(opts.Seed*1000 + int64(pid))),
 				Telemetry:       opts.Telemetry,
-			}
+			})
 			if opts.SnapshotThreshold > 0 {
 				cfg.SnapshotThreshold = opts.SnapshotThreshold
 				cfg.SnapshotState = func() []byte {
@@ -308,7 +351,70 @@ func New(opts Options) (*System, error) {
 		s.subGroups = append(s.subGroups, group)
 	}
 	s.fedGroup = simnet.NewGroup(s.Sim, "fedavg", opts.Latency, rand.New(rand.NewSource(opts.Seed*77)))
+	s.fedGroup.Topo = opts.Topology
+	if opts.AutoTune {
+		s.fedGroup.OnDeliver = func(m raft.Message, oneWay simnet.Duration) {
+			s.observeRTT(m.To, m.From, oneWay)
+		}
+		s.startAutoTune()
+	}
 	return s, nil
+}
+
+// raftFlags stamps the system-wide WAN-stability flags onto one node's
+// raft config — every construction site (initial, FedAvg join, restart,
+// revive) goes through here so a restarted node never silently loses a
+// flag its peers run with.
+func (s *System) raftFlags(cfg raft.Config) raft.Config {
+	cfg.PreVote = s.opts.PreVote
+	cfg.CheckQuorum = s.opts.CheckQuorum
+	cfg.LeaderLease = s.opts.LeaderLease
+	return cfg
+}
+
+// observeRTT records one delivered message as an RTT sample for its
+// receiver: on near-symmetric links twice the sampled one-way delay is
+// the round trip the receiver would measure against that sender.
+func (s *System) observeRTT(to, from uint64, oneWay simnet.Duration) {
+	p := s.peers[to]
+	if p == nil || p.rtt == nil {
+		return
+	}
+	p.rtt.Observe(from, 2*int64(oneWay))
+}
+
+// startAutoTune arms the periodic health→raft feedback loop: every
+// AutoTuneInterval each live peer derives an election band from its
+// observed per-sender RTT quantiles (health.Tuning) and rescales its
+// subgroup and FedAvg-layer nodes' timers in place. Iteration is in
+// ascending peer-ID order, so equal seeds retune identically.
+func (s *System) startAutoTune() {
+	tuning := health.Tuning{TickUs: int64(simnet.Millisecond)}
+	// Keep the tuned floor above the heartbeat interval (raft rejects
+	// min ≤ HeartbeatTick) and never below the stock LAN floor.
+	tuning.MinTicks = 50
+	if s.opts.HeartbeatTick+1 > tuning.MinTicks {
+		tuning.MinTicks = s.opts.HeartbeatTick + 1
+	}
+	var loop func()
+	loop = func() {
+		for _, id := range s.PeerIDs() {
+			p := s.peers[id]
+			if p.Down() || p.rtt == nil {
+				continue
+			}
+			min, max, ok := tuning.ElectionTicks(p.rtt)
+			if !ok {
+				continue
+			}
+			_ = p.subHost.Node.SetElectionTicks(min, max)
+			if p.fedHost != nil && !p.fedHost.Down() {
+				_ = p.fedHost.Node.SetElectionTicks(min, max)
+			}
+		}
+		s.Sim.Schedule(s.opts.AutoTuneInterval, loop)
+	}
+	s.Sim.Schedule(s.opts.AutoTuneInterval, loop)
 }
 
 // NumPeers returns the total peer count.
@@ -410,18 +516,18 @@ func (s *System) Bootstrap(limit simnet.Duration) error {
 func (s *System) createFedNode(p *Peer, members []uint64) error {
 	if p.fedHost != nil {
 		if p.fedHost.Down() {
-			return p.fedHost.Restart(raft.Config{
+			return p.fedHost.Restart(s.raftFlags(raft.Config{
 				ID:              p.ID,
 				ElectionTickMin: s.opts.ElectionTickMin,
 				ElectionTickMax: s.opts.ElectionTickMax,
 				HeartbeatTick:   s.opts.HeartbeatTick,
 				Rng:             rand.New(rand.NewSource(s.opts.Seed*3000 + int64(p.ID))),
 				Telemetry:       s.opts.Telemetry,
-			})
+			}))
 		}
 		return nil
 	}
-	node, err := raft.NewNode(raft.Config{
+	node, err := raft.NewNode(s.raftFlags(raft.Config{
 		ID:              p.ID,
 		Peers:           members,
 		ElectionTickMin: s.opts.ElectionTickMin,
@@ -429,7 +535,7 @@ func (s *System) createFedNode(p *Peer, members []uint64) error {
 		HeartbeatTick:   s.opts.HeartbeatTick,
 		Rng:             rand.New(rand.NewSource(s.opts.Seed*2000 + int64(p.ID))),
 		Telemetry:       s.opts.Telemetry,
-	})
+	}))
 	if err != nil {
 		return err
 	}
@@ -647,14 +753,14 @@ func (s *System) RestartPeer(id uint64) error {
 	if !p.Down() {
 		return fmt.Errorf("cluster: peer %d is not down", id)
 	}
-	cfg := raft.Config{
+	cfg := s.raftFlags(raft.Config{
 		ID:              p.ID,
 		ElectionTickMin: s.opts.ElectionTickMin,
 		ElectionTickMax: s.opts.ElectionTickMax,
 		HeartbeatTick:   s.opts.HeartbeatTick,
 		Rng:             rand.New(rand.NewSource(s.opts.Seed*4000 + int64(p.ID))),
 		Telemetry:       s.opts.Telemetry,
-	}
+	})
 	if s.opts.SnapshotThreshold > 0 {
 		cfg.SnapshotThreshold = s.opts.SnapshotThreshold
 		cfg.SnapshotState = func() []byte {
@@ -671,6 +777,10 @@ func (s *System) RestartPeer(id uint64) error {
 	// The restarted peer is a follower; if it previously joined the
 	// FedAvg layer that membership only matters again once re-elected.
 	p.joined = false
+	if p.rtt != nil {
+		// RTT history is in-memory state the reborn process cannot have.
+		p.rtt.Reset()
+	}
 	if p.det != nil {
 		// A reborn node has no basis for its old verdicts: restart the
 		// detector Up with fresh timers and re-arm its tick loop.
@@ -704,14 +814,14 @@ func (s *System) ReviveFedNode(id uint64) error {
 	if p.fedHost == nil || !p.fedHost.Down() {
 		return nil
 	}
-	return p.fedHost.Restart(raft.Config{
+	return p.fedHost.Restart(s.raftFlags(raft.Config{
 		ID:              p.ID,
 		ElectionTickMin: s.opts.ElectionTickMin,
 		ElectionTickMax: s.opts.ElectionTickMax,
 		HeartbeatTick:   s.opts.HeartbeatTick,
 		Rng:             rand.New(rand.NewSource(s.opts.Seed*3000 + int64(p.ID))),
 		Telemetry:       s.opts.Telemetry,
-	})
+	}))
 }
 
 // WaitSubgroupLeader runs the simulation until subgroup g has a live

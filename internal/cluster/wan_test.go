@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// wanOpts is the WAN production profile: two subgroups of three spread
+// round-robin over the wan50 regions, pre-vote + check-quorum on, and
+// the RTT-driven AutoTune loop armed. The detector stays off: proactive
+// campaigns are the point of the detector track, while this test pins
+// down the *timeout* path the tuner governs.
+func wanOpts(t *testing.T, seed int64, autoTune bool) Options {
+	t.Helper()
+	topo, err := simnet.Preset("wan50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		NumSubgroups: 2,
+		SubgroupSize: 3,
+		Latency:      15 * simnet.Millisecond, // app-level join traffic only
+		Topology:     topo,
+		PreVote:      true,
+		CheckQuorum:  true,
+		AutoTune:     autoTune,
+		Seed:         seed,
+	}
+}
+
+// TestWANClusterTunesElectionBands: after bootstrap plus a settling
+// window on the wan50 topology, the AutoTune loop has moved at least one
+// peer's election band above the stock configuration — and no peer's
+// band ever leaves the tuner's clamp range.
+func TestWANClusterTunesElectionBands(t *testing.T) {
+	s := mustBootstrap(t, wanOpts(t, 1, true))
+	s.Sim.RunFor(10 * simnet.Second)
+
+	tuned := 0
+	for _, id := range s.PeerIDs() {
+		min, max := s.Peer(id).ElectionTicks()
+		if min <= 0 || max <= min {
+			t.Fatalf("peer %d: degenerate band [%d,%d]", id, min, max)
+		}
+		if min > 5000 || max > 2*5000 {
+			t.Errorf("peer %d: band [%d,%d] above the tuner clamp", id, min, max)
+		}
+		if min > s.opts.ElectionTickMin {
+			tuned++
+		}
+	}
+	if tuned == 0 {
+		t.Fatalf("no peer tuned above the stock band after 10 s on wan50")
+	}
+}
+
+// TestWANClusterFailoverRespectsTunedTimeouts is the ISSUE's cluster-level
+// acceptance bound: a WAN-tuned cluster must not elect a replacement
+// leader faster than 10× the (base) RTT between the new leader and the
+// killed one — the tuner's whole point is that on a WAN, electing faster
+// than the link allows is how spurious leadership churn starts. The
+// same scenario with AutoTune off fails over on the stock (LAN-scale)
+// band, proving the slowdown really comes from the feedback loop.
+func TestWANClusterFailoverRespectsTunedTimeouts(t *testing.T) {
+	failover := func(autoTune bool) (elapsed simnet.Duration, old, new uint64, topo *simnet.Topology) {
+		s := mustBootstrap(t, wanOpts(t, 3, autoTune))
+		s.Sim.RunFor(10 * simnet.Second) // let the tuner converge (no-op when off)
+
+		old = s.SubgroupLeader(0)
+		if err := s.CrashPeer(old); err != nil {
+			t.Fatal(err)
+		}
+		t0 := s.Sim.Now()
+		leader, at, err := s.WaitSubgroupLeader(0, old, 120*simnet.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return simnet.Duration(at - t0), old, leader, s.opts.Topology
+	}
+
+	tunedElapsed, old, leader, topo := failover(true)
+	bound := 10 * topo.RTT(leader, old)
+	if tunedElapsed < bound {
+		t.Errorf("tuned cluster elected %d over %d in %v ms, faster than 10×RTT = %v ms",
+			leader, old, tunedElapsed.Ms(), bound.Ms())
+	}
+
+	stockElapsed, _, _, _ := failover(false)
+	if stockElapsed >= tunedElapsed {
+		t.Errorf("stock failover (%v ms) not faster than tuned failover (%v ms) — tuning had no effect",
+			stockElapsed.Ms(), tunedElapsed.Ms())
+	}
+}

@@ -127,6 +127,11 @@ type Detector struct {
 	suspectAfter int64
 	downAfter    int64
 
+	// rtt aggregates per-peer round-trip samples (ObserveRTT) for the
+	// self-tuning timeout loop; separate from the verdict state so RTT
+	// feeds never perturb Up/Suspect/Down determinism.
+	rtt *RTTStats
+
 	transUp, transSuspect, transDown *telemetry.Counter
 }
 
@@ -157,6 +162,7 @@ func New(peers []uint64, o Options) (*Detector, error) {
 		peers:        make(map[uint64]*peerInfo, len(peers)),
 		suspectAfter: int64(o.SuspectTicks) * o.TickIntervalUs,
 		downAfter:    int64(o.DownTicks) * o.TickIntervalUs,
+		rtt:          NewRTTStats(0),
 		transUp:      o.Telemetry.Counter("health/transitions_up"),
 		transSuspect: o.Telemetry.Counter("health/transitions_suspect"),
 		transDown:    o.Telemetry.Counter("health/transitions_down"),
@@ -242,6 +248,15 @@ func (d *Detector) Observe(peer uint64) {
 	}
 }
 
+// ObserveRTT records a round-trip-time sample (microseconds) for a
+// peer, feeding the self-tuning timeout loop (Tuning.ElectionTicks over
+// RTT()). Callers typically pair it with Observe: the same message that
+// proves liveness measures the link.
+func (d *Detector) ObserveRTT(peer uint64, rttUs int64) { d.rtt.Observe(peer, rttUs) }
+
+// RTT exposes the detector's round-trip-time tracker.
+func (d *Detector) RTT() *RTTStats { return d.rtt }
+
 // Tick evaluates watched peers against the silence thresholds and emits
 // any Suspect/Down transitions, in ascending peer-id order. The caller
 // drives it at roughly TickIntervalUs cadence; detection latency is
@@ -316,6 +331,7 @@ func (d *Detector) Reset() {
 		pi.state = Up
 	}
 	d.mu.Unlock()
+	d.rtt.Reset()
 }
 
 // AllUp reports whether every watched peer is currently Up. Chaos

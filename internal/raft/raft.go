@@ -34,6 +34,10 @@ const (
 	Candidate
 	// Leader handles all client requests and replicates the log.
 	Leader
+	// PreCandidate is probing for pre-votes before a real campaign
+	// (Config.PreVote, §9.6 of Ongaro's thesis): the node's term and
+	// vote are untouched until a quorum signals the probe would win.
+	PreCandidate
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +49,8 @@ func (s State) String() string {
 		return "candidate"
 	case Leader:
 		return "leader"
+	case PreCandidate:
+		return "pre-candidate"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -113,6 +119,12 @@ const (
 	// MsgSnapshot is the InstallSnapshot RPC, sent when a follower's
 	// next index has been compacted away (answered with MsgAppendResponse).
 	MsgSnapshot
+	// MsgPreVoteRequest probes whether a real RequestVote at Term (the
+	// sender's term + 1) would win, without anyone changing state.
+	MsgPreVoteRequest
+	// MsgPreVoteResponse answers a pre-vote probe: Granted echoes the
+	// probed term, a rejection carries the responder's current term.
+	MsgPreVoteResponse
 )
 
 // String implements fmt.Stringer.
@@ -128,6 +140,10 @@ func (t MsgType) String() string {
 		return "AppendEntriesResp"
 	case MsgSnapshot:
 		return "InstallSnapshot"
+	case MsgPreVoteRequest:
+		return "PreVote"
+	case MsgPreVoteResponse:
+		return "PreVoteResp"
 	default:
 		return fmt.Sprintf("msg(%d)", int(t))
 	}
@@ -189,6 +205,25 @@ type Config struct {
 	HeartbeatTick int
 	// Rng drives timeout randomization; nil seeds from ID.
 	Rng *rand.Rand
+
+	// PreVote enables the Pre-Vote extension: a node whose election
+	// timer fires probes the group with MsgPreVoteRequest first and only
+	// increments its term once a quorum signals the real election would
+	// win. This stops a partitioned minority (or a node behind flaky WAN
+	// links) from endlessly bumping terms and deposing a healthy leader
+	// on rejoin. Off by default: existing seeds replay unchanged.
+	PreVote bool
+	// CheckQuorum makes a leader step down after a full ElectionTickMax
+	// of ticks without hearing AppendEntries responses from a quorum —
+	// a leader on the minority side of a partition stops disrupting the
+	// group (and stops serving lease reads) instead of lingering. Off by
+	// default.
+	CheckQuorum bool
+	// LeaderLease enables lease-based ReadIndex reads: a leader that has
+	// heard from a quorum within the last ElectionTickMin ticks may
+	// serve linearizable reads at its commit index without a heartbeat
+	// round (see ReadIndex). Off by default.
+	LeaderLease bool
 
 	// SnapshotThreshold, when positive, auto-compacts the log once more
 	// than this many applied entries have accumulated since the last
@@ -258,12 +293,17 @@ type Node struct {
 
 	peers map[uint64]bool // current configuration (voting members)
 
-	// Candidate state.
+	// Candidate state (also holds pre-votes while PreCandidate).
 	votes map[uint64]bool
 
 	// Leader state.
 	nextIndex  map[uint64]uint64
 	matchIndex map[uint64]uint64
+
+	// Check-quorum / lease state: peers heard from since the last
+	// quorum renewal, and ticks since that renewal.
+	active        map[uint64]bool
+	quorumSilence int
 
 	// Timers (in ticks).
 	electionElapsed  int
@@ -290,6 +330,13 @@ type nodeTel struct {
 	snapshotsTaken     *telemetry.Counter
 	snapshotsInstalled *telemetry.Counter
 	msgsSent           *telemetry.Counter
+
+	// WAN-profile handles, resolved only when the matching Config flag
+	// is on so flag-off registries keep their exact metric set (the
+	// equal-seed snapshot and golden-file contract).
+	prevotesStarted *telemetry.Counter
+	quorumStepdowns *telemetry.Counter
+	leaseReads      *telemetry.Counter
 }
 
 func newNodeTel(reg *telemetry.Registry) nodeTel {
@@ -326,6 +373,15 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg:        cfg,
 		rng:        rng,
 		tel:        newNodeTel(cfg.Telemetry),
+	}
+	if cfg.PreVote {
+		n.tel.prevotesStarted = cfg.Telemetry.Counter("raft/prevotes_started")
+	}
+	if cfg.CheckQuorum {
+		n.tel.quorumStepdowns = cfg.Telemetry.Counter("raft/quorum_stepdowns")
+	}
+	if cfg.LeaderLease {
+		n.tel.leaseReads = cfg.Telemetry.Counter("raft/lease_reads")
 	}
 	for _, p := range cfg.Peers {
 		if p == None {
@@ -396,6 +452,18 @@ func (n *Node) quorum() int { return len(n.peers)/2 + 1 }
 func (n *Node) Tick() {
 	if n.state == Leader {
 		n.heartbeatElapsed++
+		if n.cfg.CheckQuorum || n.cfg.LeaderLease {
+			n.quorumSilence++
+			if n.cfg.CheckQuorum && n.quorumSilence >= n.cfg.ElectionTickMax {
+				// A full maximum election timeout without hearing a
+				// quorum: any majority partition has had time to elect a
+				// replacement, so this leadership is (at best) stale.
+				n.tel.quorumStepdowns.Inc()
+				n.tel.reg.Trace("raft/quorum_stepdown", n.id, -1, telemetry.F("term", int64(n.term)))
+				n.becomeFollower(n.term, None)
+				return
+			}
+		}
 		if n.heartbeatElapsed >= n.cfg.HeartbeatTick {
 			n.heartbeatElapsed = 0
 			n.broadcastAppend()
@@ -404,13 +472,60 @@ func (n *Node) Tick() {
 	}
 	n.electionElapsed++
 	if n.electionElapsed >= n.electionTimeout {
-		n.campaign()
+		n.hup()
 	}
 }
 
-// Campaign forces an immediate election (used by tests and by bootstrap
-// helpers; normal operation relies on the election timeout).
+// Campaign forces an immediate election, bypassing pre-vote (used by
+// tests, bootstrap helpers and proactive failure-detector campaigns;
+// normal operation goes through the election timeout and hup).
 func (n *Node) Campaign() { n.campaign() }
+
+// hup is the election-timeout path: straight to a real campaign, or
+// through a pre-vote probe when Config.PreVote is set.
+func (n *Node) hup() {
+	if n.cfg.PreVote {
+		n.preCampaign()
+		return
+	}
+	n.campaign()
+}
+
+// preCampaign probes the group for pre-votes at term+1 without touching
+// the node's own term or vote. Only a quorum of grants escalates to a
+// real campaign — a node that cannot reach a quorum (partitioned
+// minority, flaky WAN link) keeps probing harmlessly at its own term.
+func (n *Node) preCampaign() {
+	if !n.peers[n.id] {
+		// Not (yet) a voting member: keep waiting (see campaign).
+		n.resetElectionTimeout()
+		return
+	}
+	n.state = PreCandidate
+	n.leader = None
+	n.votes = map[uint64]bool{n.id: true}
+	n.resetElectionTimeout()
+	n.tel.prevotesStarted.Inc()
+	n.tel.reg.Trace("raft/prevote_started", n.id, -1, telemetry.F("term", int64(n.term+1)))
+	if len(n.votes) >= n.quorum() {
+		// Single-node cluster: the probe trivially wins.
+		n.campaign()
+		return
+	}
+	// Sorted iteration keeps emission order deterministic (see campaign).
+	for _, p := range n.Members() {
+		if p == n.id {
+			continue
+		}
+		n.send(Message{
+			Type:         MsgPreVoteRequest,
+			To:           p,
+			Term:         n.term + 1,
+			LastLogIndex: n.lastIndex(),
+			LastLogTerm:  n.termAt(n.lastIndex()),
+		})
+	}
+}
 
 func (n *Node) campaign() {
 	if !n.peers[n.id] {
@@ -460,6 +575,8 @@ func (n *Node) becomeFollower(term, leader uint64) {
 	}
 	n.leader = leader
 	n.votes = nil
+	n.active = nil
+	n.quorumSilence = 0
 	n.resetElectionTimeout()
 }
 
@@ -474,6 +591,12 @@ func (n *Node) becomeLeader() {
 		n.matchIndex[p] = 0
 	}
 	n.matchIndex[n.id] = n.lastIndex()
+	if n.cfg.CheckQuorum || n.cfg.LeaderLease {
+		// A fresh leader starts with a full lease: it just heard from a
+		// quorum of voters.
+		n.active = make(map[uint64]bool)
+		n.quorumSilence = 0
+	}
 	n.tel.electionsWon.Inc()
 	n.tel.reg.Trace("raft/leader_elected", n.id, -1, telemetry.F("term", int64(n.term)))
 	// Append a no-op so entries from previous terms commit (Sec. 5.4.2 of
@@ -517,6 +640,83 @@ func (n *Node) ProposeConfChange(cc ConfChange) error {
 
 // ErrNotLeader is returned by proposals on non-leader nodes.
 var ErrNotLeader = fmt.Errorf("raft: not the leader")
+
+// ErrNoLease is returned by ReadIndex when the leader's lease has
+// expired: too long since a quorum acknowledged it, so a newer leader
+// may exist and a local read could be stale.
+var ErrNoLease = fmt.Errorf("raft: leader lease expired")
+
+// ErrReadIndexNotReady is returned by ReadIndex before the leader has
+// committed an entry from its own term (until the no-op commits, the
+// commit index may still move backward relative to a newer leader's log).
+var ErrReadIndexNotReady = fmt.Errorf("raft: no current-term entry committed yet")
+
+// ReadIndex returns an index at which a local read of the applied state
+// is linearizable, without a heartbeat round trip. Requires
+// Config.LeaderLease. The lease argument: a quorum acknowledged this
+// leader within the last ElectionTickMin ticks, and no other node can
+// win an election without first refusing heartbeats for at least
+// ElectionTickMin ticks, so no newer leader can have committed anything
+// yet. This assumes bounded clock (tick-rate) drift between nodes —
+// the standard lease caveat; callers that cannot accept it should use
+// the heartbeat-round ReadIndex variant instead (not needed here: the
+// simulated fleet ticks in lockstep).
+func (n *Node) ReadIndex() (uint64, error) {
+	if n.state != Leader {
+		return 0, ErrNotLeader
+	}
+	if !n.cfg.LeaderLease {
+		return 0, fmt.Errorf("raft: ReadIndex requires Config.LeaderLease")
+	}
+	if n.quorumSilence >= n.cfg.ElectionTickMin {
+		return 0, ErrNoLease
+	}
+	// Leader Completeness makes the read safe only once an entry from
+	// *this* term is committed (Raft §8; the no-op from becomeLeader).
+	if n.termAt(n.commitIndex) != n.term {
+		return 0, ErrReadIndexNotReady
+	}
+	n.tel.leaseReads.Inc()
+	return n.commitIndex, nil
+}
+
+// Applied returns the highest log index the driver has drained through
+// Ready() — the index a ReadIndex caller must wait for its state
+// machine to reach before serving the read.
+func (n *Node) Applied() uint64 { return n.applied }
+
+// ElectionTicks returns the current [min, max) election timeout band.
+func (n *Node) ElectionTicks() (min, max int) {
+	return n.cfg.ElectionTickMin, n.cfg.ElectionTickMax
+}
+
+// SetElectionTicks retunes the election timeout band at runtime (the
+// self-tuning feedback loop from internal/health RTT quantiles). The
+// currently armed timeout is rescaled proportionally into the new band
+// — no rng draw, so retuning never perturbs the deterministic-replay
+// rng stream. Heartbeat and snapshot config are untouched.
+func (n *Node) SetElectionTicks(min, max int) error {
+	if min <= n.cfg.HeartbeatTick {
+		return fmt.Errorf("raft: election tick min %d must be > heartbeat tick %d", min, n.cfg.HeartbeatTick)
+	}
+	if max <= min {
+		return fmt.Errorf("raft: election ticks [%d,%d) invalid", min, max)
+	}
+	if min == n.cfg.ElectionTickMin && max == n.cfg.ElectionTickMax {
+		return nil
+	}
+	oldMin, oldSpan := n.cfg.ElectionTickMin, n.cfg.ElectionTickMax-n.cfg.ElectionTickMin
+	frac := n.electionTimeout - oldMin
+	if frac < 0 {
+		frac = 0
+	}
+	n.cfg.ElectionTickMin, n.cfg.ElectionTickMax = min, max
+	n.electionTimeout = min + frac*(max-min)/oldSpan
+	if n.electionTimeout >= max {
+		n.electionTimeout = max - 1
+	}
+	return nil
+}
 
 func (n *Node) send(m Message) {
 	m.From = n.id
@@ -563,13 +763,27 @@ func (n *Node) sendAppend(to uint64) {
 // Step feeds one inbound message into the state machine.
 func (n *Node) Step(m Message) error {
 	if m.Term > n.term {
-		// Newer term always demotes. For append RPCs the sender is the
-		// leader of that term; vote requests leave the leader unknown.
-		leader := None
-		if m.Type == MsgAppend {
-			leader = m.From
+		// Newer term always demotes — except for the pre-vote exchange,
+		// whose whole point is to probe future terms without moving
+		// anyone's term. A pre-vote request carries the prober's term+1
+		// but changes no state here; a granted pre-vote response echoes
+		// the probed term back without establishing it. Only a *rejected*
+		// pre-vote response with a higher term is real evidence of a
+		// newer epoch (the responder told us its actual term).
+		switch {
+		case m.Type == MsgPreVoteRequest:
+			// Answered at our own term; see handlePreVoteRequest.
+		case m.Type == MsgPreVoteResponse && m.Granted:
+			// Echo of our own probe at term+1; see handlePreVoteResponse.
+		default:
+			// For append RPCs the sender is the leader of that term; vote
+			// requests leave the leader unknown.
+			leader := None
+			if m.Type == MsgAppend {
+				leader = m.From
+			}
+			n.becomeFollower(m.Term, leader)
 		}
-		n.becomeFollower(m.Term, leader)
 	}
 	switch m.Type {
 	case MsgVoteRequest:
@@ -582,10 +796,79 @@ func (n *Node) Step(m Message) error {
 		n.handleAppendResponse(m)
 	case MsgSnapshot:
 		n.handleSnapshot(m)
+	case MsgPreVoteRequest:
+		n.handlePreVoteRequest(m)
+	case MsgPreVoteResponse:
+		n.handlePreVoteResponse(m)
 	default:
 		return fmt.Errorf("raft: unknown message type %v", m.Type)
 	}
 	return nil
+}
+
+// handlePreVoteRequest answers a pre-vote probe without changing any
+// local state. The grant rule is the RequestVote rule plus leader
+// stickiness: while we believe a leader exists and our own election
+// timer has not expired, the probe is refused — a healthy leader must
+// not be deposed by a rejoining minority node's backlog of timeouts.
+func (n *Node) handlePreVoteRequest(m Message) {
+	granted := m.Term >= n.term &&
+		n.state != Leader &&
+		(n.leader == None || n.electionElapsed >= n.cfg.ElectionTickMin) &&
+		n.logUpToDate(m.LastLogIndex, m.LastLogTerm)
+	if granted {
+		// Echo the probed term so the prober can match responses to the
+		// campaign it is considering. Nothing is persisted: unlike a real
+		// vote, a pre-vote is not a promise.
+		n.send(Message{Type: MsgPreVoteResponse, To: m.From, Term: m.Term, Granted: true})
+		return
+	}
+	n.send(Message{Type: MsgPreVoteResponse, To: m.From, Term: n.term, Granted: false})
+}
+
+// handlePreVoteResponse collects grants; a quorum escalates to a real
+// campaign (which bumps the term exactly once, for the whole probe round).
+func (n *Node) handlePreVoteResponse(m Message) {
+	if n.state != PreCandidate {
+		return
+	}
+	if !m.Granted {
+		// Step's guard already demoted us on a rejection from a newer
+		// term; a same/older-term rejection just means no grant.
+		return
+	}
+	if m.Term != n.term+1 {
+		return // stale echo from an earlier probe round
+	}
+	if n.peers[m.From] {
+		n.votes[m.From] = true
+		if len(n.votes) >= n.quorum() {
+			n.campaign()
+		}
+	}
+}
+
+// noteActive records quorum contact for check-quorum and the leader
+// lease: once a majority of peers (counting the leader itself) has
+// responded since the last renewal, the silence clock restarts.
+func (n *Node) noteActive(from uint64) {
+	if n.state != Leader || (!n.cfg.CheckQuorum && !n.cfg.LeaderLease) {
+		return
+	}
+	if !n.peers[from] {
+		return
+	}
+	n.active[from] = true
+	count := 1 // self
+	for p := range n.active {
+		if p != n.id {
+			count++
+		}
+	}
+	if count >= n.quorum() {
+		n.quorumSilence = 0
+		clear(n.active)
+	}
 }
 
 func (n *Node) handleVoteRequest(m Message) {
@@ -691,6 +974,9 @@ func (n *Node) handleAppendResponse(m Message) {
 	if n.state != Leader || m.Term != n.term {
 		return
 	}
+	// Even a rejection proves the follower is alive and acknowledges our
+	// term — that is all check-quorum and the lease need.
+	n.noteActive(m.From)
 	if m.Reject {
 		// Back up using the follower's hint and retry.
 		next := m.Match + 1

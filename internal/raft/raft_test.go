@@ -14,9 +14,18 @@ type cluster struct {
 	down      map[uint64]bool
 	committed map[uint64][]Entry
 	dropFrom  map[uint64]bool // messages from these nodes are dropped
+	dropTo    map[uint64]bool // messages to these nodes are dropped
 }
 
 func newCluster(t *testing.T, ids ...uint64) *cluster {
+	t.Helper()
+	return newClusterCfg(t, nil, ids...)
+}
+
+// newClusterCfg builds a cluster whose node configs are post-processed
+// by mutate — the hook the WAN-feature tests (pre-vote, check-quorum,
+// leases) use to arm flags without duplicating the harness.
+func newClusterCfg(t *testing.T, mutate func(*Config), ids ...uint64) *cluster {
 	t.Helper()
 	c := &cluster{
 		t:         t,
@@ -24,22 +33,39 @@ func newCluster(t *testing.T, ids ...uint64) *cluster {
 		down:      make(map[uint64]bool),
 		committed: make(map[uint64][]Entry),
 		dropFrom:  make(map[uint64]bool),
+		dropTo:    make(map[uint64]bool),
 	}
 	for _, id := range ids {
-		n, err := NewNode(Config{
+		cfg := Config{
 			ID:              id,
 			Peers:           ids,
 			ElectionTickMin: 10,
 			ElectionTickMax: 20,
 			HeartbeatTick:   2,
 			Rng:             rand.New(rand.NewSource(int64(id) * 7)),
-		})
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		n, err := NewNode(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		c.nodes[id] = n
 	}
 	return c
+}
+
+// isolate cuts a node off in both directions (a symmetric partition of
+// one); heal with c.dropFrom/dropTo deletes.
+func (c *cluster) isolate(id uint64) {
+	c.dropFrom[id] = true
+	c.dropTo[id] = true
+}
+
+func (c *cluster) heal(id uint64) {
+	delete(c.dropFrom, id)
+	delete(c.dropTo, id)
 }
 
 // flush delivers all pending messages until no node has output.
@@ -57,7 +83,7 @@ func (c *cluster) flush() {
 					continue
 				}
 				dst, ok := c.nodes[m.To]
-				if !ok || c.down[m.To] {
+				if !ok || c.down[m.To] || c.dropTo[m.To] {
 					continue
 				}
 				if err := dst.Step(m); err != nil {

@@ -1,0 +1,219 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// wanCfg arms the WAN-stability feature flags on a harness cluster.
+func wanCfg(prevote, checkQuorum, lease bool) func(*Config) {
+	return func(cfg *Config) {
+		cfg.PreVote = prevote
+		cfg.CheckQuorum = checkQuorum
+		cfg.LeaderLease = lease
+	}
+}
+
+// sortedFollowers returns the live non-leader IDs in ascending order so
+// tests pick partition victims deterministically.
+func (c *cluster) sortedFollowers(lead *Node) []uint64 {
+	var out []uint64
+	for id, n := range c.nodes {
+		if n != lead && !c.down[id] {
+			out = append(out, id)
+		}
+	}
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// TestPreVoteMinorityRejoinTermStable is the pre-vote safety property: a
+// follower partitioned away from a healthy majority must not have grown
+// its term while isolated (pre-vote probes without incrementing), so its
+// rejoin deposes nobody. The same scenario without pre-vote shows the
+// classic disruption — the rejoining node's inflated term forces the
+// healthy leader to step down — proving the flag is what prevents it.
+func TestPreVoteMinorityRejoinTermStable(t *testing.T) {
+	for _, prevote := range []bool{true, false} {
+		t.Run(fmt.Sprintf("prevote=%v", prevote), func(t *testing.T) {
+			c := newClusterCfg(t, wanCfg(prevote, false, false), 1, 2, 3, 4, 5)
+			lead := c.waitLeader(100)
+			termBefore := lead.Term()
+
+			iso := c.sortedFollowers(lead)[0]
+			c.isolate(iso)
+			c.run(200) // the isolated node times out many times over
+
+			isoTerm := c.nodes[iso].Term()
+			if prevote && isoTerm != termBefore {
+				t.Fatalf("pre-vote: isolated node grew term %d → %d with no quorum", termBefore, isoTerm)
+			}
+			if !prevote && isoTerm <= termBefore {
+				t.Fatalf("no pre-vote: isolated node should have grown its term, still %d", isoTerm)
+			}
+
+			c.heal(iso)
+			c.run(60)
+
+			final := c.leader()
+			if final == nil {
+				t.Fatal("no leader after rejoin")
+			}
+			if prevote {
+				if final.Term() != termBefore {
+					t.Fatalf("pre-vote: rejoin disrupted the cluster, term %d → %d", termBefore, final.Term())
+				}
+				if final != lead {
+					t.Fatalf("pre-vote: rejoin deposed the healthy leader")
+				}
+			} else if final.Term() <= termBefore {
+				t.Fatalf("no pre-vote: expected term disruption on rejoin, term still %d", final.Term())
+			}
+		})
+	}
+}
+
+// TestCheckQuorumLeaderStepsDown: a leader cut off from every follower
+// must abdicate within ElectionTickMax ticks when check-quorum is on —
+// and linger as a stale leader forever when it is off (the failure mode
+// check-quorum exists to fix: clients of the old leader would wait on a
+// quorum that can never answer).
+func TestCheckQuorumLeaderStepsDown(t *testing.T) {
+	for _, cq := range []bool{true, false} {
+		t.Run(fmt.Sprintf("checkquorum=%v", cq), func(t *testing.T) {
+			c := newClusterCfg(t, wanCfg(false, cq, false), 1, 2, 3)
+			lead := c.waitLeader(100)
+			for _, id := range c.sortedFollowers(lead) {
+				c.isolate(id)
+			}
+			// ElectionTickMax is 20 in the harness; give one extra round.
+			c.run(25)
+			if cq && lead.State() == Leader {
+				t.Fatalf("check-quorum: leader still in charge %d ticks after losing every follower", 25)
+			}
+			if !cq && lead.State() != Leader {
+				t.Fatalf("no check-quorum: leader unexpectedly stepped down to %v", lead.State())
+			}
+		})
+	}
+}
+
+// TestReadIndexUnderConcurrentWrites drives the leader-lease ReadIndex
+// through its full contract: monotone non-decreasing results that track
+// the commit index while writes race in, ErrReadIndexNotReady before a
+// current-term entry commits, ErrNoLease once a quorum has been silent
+// for ElectionTickMin ticks, and plain errors on followers and on nodes
+// without the flag.
+func TestReadIndexUnderConcurrentWrites(t *testing.T) {
+	c := newClusterCfg(t, wanCfg(true, true, true), 1, 2, 3)
+	lead := c.waitLeader(100)
+	c.flush()
+
+	// The election no-op is committed: reads are ready immediately.
+	last, err := lead.ReadIndex()
+	if err != nil {
+		t.Fatalf("ReadIndex after no-op commit: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := lead.Propose([]byte(fmt.Sprintf("w%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		c.flush()
+		idx, err := lead.ReadIndex()
+		if err != nil {
+			t.Fatalf("write %d: ReadIndex: %v", i, err)
+		}
+		if idx < last {
+			t.Fatalf("write %d: ReadIndex went backwards %d → %d", i, last, idx)
+		}
+		if commit := lead.CommitIndex(); idx != commit {
+			t.Fatalf("write %d: ReadIndex %d != commit %d under quorum", i, idx, commit)
+		}
+		if app := lead.Applied(); app < idx {
+			t.Fatalf("write %d: driver drained to %d, below read index %d", i, app, idx)
+		}
+		last = idx
+	}
+
+	// Followers refuse.
+	follower := c.nodes[c.sortedFollowers(lead)[0]]
+	if _, err := follower.ReadIndex(); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("follower ReadIndex = %v, want ErrNotLeader", err)
+	}
+
+	// Cut the leader off: once a quorum has been silent ElectionTickMin
+	// ticks the lease is gone, well before check-quorum abdication.
+	for _, id := range c.sortedFollowers(lead) {
+		c.isolate(id)
+	}
+	c.run(12) // min=10 < 12 < max=20
+	if lead.State() != Leader {
+		t.Fatalf("leader abdicated before ElectionTickMax")
+	}
+	if _, err := lead.ReadIndex(); !errors.Is(err, ErrNoLease) {
+		t.Fatalf("isolated leader ReadIndex = %v, want ErrNoLease", err)
+	}
+}
+
+// TestReadIndexNotReadyBeforeNoopCommit reaches the window Raft §8 warns
+// about: a freshly elected leader whose own-term no-op has not committed
+// yet must refuse lease reads — its commit index could still be behind a
+// newer leader's log.
+func TestReadIndexNotReadyBeforeNoopCommit(t *testing.T) {
+	c := newClusterCfg(t, wanCfg(false, false, true), 1, 2, 3)
+	lead := c.waitLeader(100)
+	c.flush()
+
+	// Force a leadership change delivered by hand so the test can stop
+	// the world between "won the election" and "no-op committed".
+	next := c.nodes[c.sortedFollowers(lead)[0]]
+	next.Campaign()
+	requests := next.Ready().Messages
+	for _, m := range requests {
+		if err := c.nodes[m.To].Step(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id, n := range c.nodes {
+		if n == next || c.down[id] {
+			continue
+		}
+		for _, m := range n.Ready().Messages {
+			if m.To != next.cfg.ID {
+				continue
+			}
+			if err := next.Step(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if next.State() != Leader {
+		t.Fatalf("hand-delivered election did not elect node %d", next.cfg.ID)
+	}
+	if _, err := next.ReadIndex(); !errors.Is(err, ErrReadIndexNotReady) {
+		t.Fatalf("ReadIndex before no-op commit = %v, want ErrReadIndexNotReady", err)
+	}
+
+	// Let the no-op replicate: reads become available.
+	c.flush()
+	if _, err := next.ReadIndex(); err != nil {
+		t.Fatalf("ReadIndex after no-op commit: %v", err)
+	}
+}
+
+// TestReadIndexRequiresFlag: without Config.LeaderLease the API refuses
+// outright rather than handing out unguarded reads.
+func TestReadIndexRequiresFlag(t *testing.T) {
+	c := newCluster(t, 1)
+	lead := c.waitLeader(50)
+	if _, err := lead.ReadIndex(); err == nil {
+		t.Fatal("ReadIndex without LeaderLease flag succeeded")
+	}
+}

@@ -133,6 +133,12 @@ type Group struct {
 	Latency Duration
 	// Jitter adds U(0, Jitter) to each delivery.
 	Jitter Duration
+	// Topo, when non-nil, replaces the uniform Latency model with a
+	// multi-region delay matrix (see topology.go): each message's base
+	// delay and jitter come from its from→to link. The fault-injection
+	// Jitter above still adds on top, so ActDelay composes with any
+	// topology. A nil Topo is the legacy path, byte-for-byte.
+	Topo *Topology
 	// LossRate drops each message independently with this probability —
 	// Raft tolerates loss via retransmission-by-timeout, which the
 	// failure-injection tests exercise.
@@ -148,6 +154,11 @@ type Group struct {
 	// TickInterval is the raft tick period (default 1 ms, so raft tick
 	// counts are milliseconds).
 	TickInterval Duration
+	// OnDeliver, if set, observes every successfully scheduled delivery
+	// with the one-way delay that was sampled for it — the feed for
+	// RTT-estimating failure detectors (observed RTT ≈ 2× one-way).
+	// It runs at delivery time, before the destination steps the message.
+	OnDeliver func(m raft.Message, oneWay Duration)
 
 	rng   *rand.Rand
 	hosts map[uint64]*Host
@@ -386,7 +397,12 @@ func (g *Group) deliver(m raft.Message) {
 		g.droppedBytes += frame
 		return
 	}
-	delay := g.Latency
+	var delay Duration
+	if g.Topo != nil {
+		delay = g.Topo.SampleDelay(m.From, m.To, g.rng)
+	} else {
+		delay = g.Latency
+	}
 	if g.Jitter > 0 {
 		delay += Duration(g.rng.Int63n(int64(g.Jitter)))
 	}
@@ -394,6 +410,9 @@ func (g *Group) deliver(m raft.Message) {
 		dst, ok := g.hosts[m.To]
 		if !ok || dst.down {
 			return
+		}
+		if g.OnDeliver != nil {
+			g.OnDeliver(m, delay)
 		}
 		if dst.OnMessage != nil {
 			dst.OnMessage(m)

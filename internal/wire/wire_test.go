@@ -15,6 +15,11 @@ func sampleRaftMessages() []raft.Message {
 		{},
 		{Type: raft.MsgVoteRequest, From: 1, To: 2, Term: 3, LastLogIndex: 9, LastLogTerm: 2},
 		{Type: raft.MsgVoteResponse, From: 2, To: 1, Term: 3, Granted: true},
+		// Pre-vote probes (WAN stability): same shape as real votes, a
+		// distinct type byte the codec must pass through untouched.
+		{Type: raft.MsgPreVoteRequest, From: 3, To: 1, Term: 4, LastLogIndex: 9, LastLogTerm: 2},
+		{Type: raft.MsgPreVoteResponse, From: 1, To: 3, Term: 4, Granted: true},
+		{Type: raft.MsgPreVoteResponse, From: 2, To: 3, Term: 3},
 		{Type: raft.MsgAppendResponse, From: 4, To: 1, Term: 7, Reject: true, Match: 42},
 		{Type: raft.MsgAppend, From: 1, To: 5, Term: 7, PrevLogIndex: 10, PrevLogTerm: 6,
 			Commit: 9, Entries: []raft.Entry{
