@@ -16,7 +16,7 @@ TELEMETRY_PAIRS := 'RaftTickLive=RaftTickNil,SACRoundLive=SACRoundNil,RaftTCPSen
 WIRE_PAIRS := 'EncodeModelWire=EncodeModelGob@0.5,allocs:SACRoundAllocsPooled=SACRoundAllocsFresh@0.5'
 COMPRESS_PAIRS := 'bytes:EncodeDeltaQuant8=EncodeDeltaFloat64@0.25,allocs:DivideParallel/dim1e6=DivideSerial/dim1e6@1.0'
 
-.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry test-health test-wire test-byzantine test-compress test-wan
+.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry test-health test-wire test-byzantine test-compress test-wan test-churn
 
 all: check
 
@@ -35,7 +35,9 @@ race:
 	$(GO) run -race ./cmd/p2pfl-chaos -seed 1 -target two-layer -steps 12
 	$(GO) run -race ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix flap -detector -steps 12
 	$(GO) run -race ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix byzantine -n 4 -steps 12
+	$(GO) run -race ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix churn -steps 12
 	$(GO) run -race ./cmd/p2pfl-chaos -wan -seeds 5
+	$(GO) run -race ./cmd/p2pfl-chaos -churn -seeds 5
 
 # 30-second deterministic chaos sweep. The start seed is pinned so CI
 # failures reproduce locally: any red seed reruns exactly with
@@ -47,6 +49,7 @@ chaos-smoke:
 	$(GO) run ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix byzantine -n 4 -steps 12
 	$(GO) run ./cmd/p2pfl-chaos -seed 1 -byzantine -steps 12
 	$(GO) run ./cmd/p2pfl-chaos -seed 1 -target two-layer -topology wan50 -prevote -checkquorum -steps 12
+	$(GO) run ./cmd/p2pfl-chaos -seed 1 -target two-layer -mix churn -steps 12
 
 # WAN/multi-region profile suite under -race: latency topologies, the
 # raft pre-vote/check-quorum/lease safety tests, the RTT-driven timeout
@@ -101,6 +104,21 @@ test-compress:
 	$(GO) test -race -run 'Delta|Quant|Sparse|Compress|TopK|DistributionBytes|BlockBytes' \
 		./internal/wire/ ./internal/transport/ ./internal/sac/ \
 		./internal/core/ ./internal/costmodel/ ./internal/nn/
+
+# Continuous-churn suite under -race: the replicated directory state
+# machine, the cluster join/depart/handoff control plane, the departed-
+# peer teardown paths (transport RemovePeer, detector Forget, raft
+# ConfChange × snapshot × restart), the core reconfiguration seam, the
+# closed-form directory/handoff byte accounting, and the chaos churn
+# track with its 20-seed acceptance sweep (DESIGN.md §14). The sweep
+# also runs standalone via
+#   go run ./cmd/p2pfl-chaos -churn -seeds 20 -v
+test-churn:
+	$(GO) test -race ./internal/directory/
+	$(GO) test -race -run 'Churn|AddPeer|Depart|Handoff|Replace|Directory|Forget|RemovePeer|ConfChangeSnapshotRestart|Reconfigure' \
+		./internal/cluster/ ./internal/chaos/ ./internal/transport/ \
+		./internal/health/ ./internal/raft/ ./internal/core/ ./internal/costmodel/
+	$(GO) run -race ./cmd/p2pfl-chaos -churn -seeds 20
 
 # Byzantine adversary suite under -race: robust SAC aggregation (range
 # guard, subtotal cross-check, leader audit), its core-layer

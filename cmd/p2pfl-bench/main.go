@@ -5,6 +5,8 @@
 //	p2pfl-bench -N 30 -n 3 -k 2
 //	p2pfl-bench -N 30 -sweep            # the Fig. 13 style m-sweep
 //	p2pfl-bench -params 1250858 -bits 32
+//	p2pfl-bench -churn 10               # directory + handoff traffic for
+//	                                    # 10 joins and 10 leaves (DESIGN.md §14)
 package main
 
 import (
@@ -25,6 +27,7 @@ func main() {
 		bits   = flag.Int("bits", 32, "bits per parameter (32 or 64)")
 		sweep  = flag.Bool("sweep", false, "sweep m = 1..N (Fig. 13 style)")
 		layers = flag.Int("layers", 0, "if > 0, print X-layer costs up to this depth (Sec. VII-C)")
+		churn  = flag.Int("churn", 0, "if > 0, print continuous-churn control-plane costs for this many joins and leaves")
 	)
 	flag.Parse()
 
@@ -62,6 +65,30 @@ func main() {
 			check(err)
 			fmt.Printf("%-4d %10d %14d %10.2f\n", x, peers, units, costmodel.Gigabits(units*w))
 		}
+		return
+	}
+
+	if *churn > 0 {
+		// Control-plane traffic for a churn episode: each committed
+		// directory update replicates once to each of the FedAvg layer's
+		// m−1 followers, and each departure's graceful handoff ships one
+		// checkpoint-framed model. Address length matches the cluster
+		// layer's "peer-<id>:7100" convention at 4-digit ids.
+		const addrLen = len("peer-1000:7100")
+		m := (*N + *n - 1) / *n
+		dir, err := costmodel.DirectoryChurnBytes(*churn, *churn, m, addrLen)
+		check(err)
+		hand, err := costmodel.HandoffModelBytes(*params)
+		check(err)
+		joinB, err := costmodel.DirectoryUpdateBytes(addrLen)
+		check(err)
+		leaveB, _ := costmodel.DirectoryUpdateBytes(0)
+		fmt.Printf("directory update:       %8d B per join, %d B per leave (wire frames)\n", joinB, leaveB)
+		fmt.Printf("directory replication:  %8d B for %d joins + %d leaves across the m=%d FedAvg layer\n",
+			dir, *churn, *churn, m)
+		fmt.Printf("graceful handoff:       %8d B per departure (%d-param model checkpoint)\n", hand, *params)
+		fmt.Printf("handoff total:          %8d B (%.4f Gb) for %d departures\n",
+			hand*int64(*churn), costmodel.Gigabits(hand*int64(*churn)), *churn)
 		return
 	}
 

@@ -15,6 +15,14 @@
 //	p2pfl-chaos -byzantine -seed 11            Byzantine oracle rounds on any
 //	                                           campaign (robustness, detection,
 //	                                           equivocation, privacy, sharpness)
+//	p2pfl-chaos -target two-layer -mix churn   continuous churn: joins, graceful
+//	                                           departures and handoffs against
+//	                                           the live control plane, with the
+//	                                           directory and accuracy invariants
+//	p2pfl-chaos -churn -seeds 20               churn acceptance sweep: every seed
+//	                                           must pass all churn invariants and
+//	                                           the sweep must exercise real
+//	                                           membership change (else exit 1)
 //	p2pfl-chaos -topology wan50 -prevote -checkquorum
 //	                                           campaign on the multi-region WAN
 //	                                           latency model with the stability
@@ -48,7 +56,7 @@ func main() {
 	var (
 		seed    = flag.Int64("seed", 1, "campaign seed (ignored with -replay)")
 		steps   = flag.Int("steps", 24, "number of fault actions in the schedule")
-		mix     = flag.String("mix", "mixed", "fault mix: mixed | crash | partition | flap | byzantine")
+		mix     = flag.String("mix", "mixed", "fault mix: mixed | crash | partition | flap | byzantine | churn")
 		target  = flag.String("target", "raft-kv", "system under test: raft-kv | two-layer")
 		detect  = flag.Bool("detector", false, "enable the failure detector and its invariant checkers (two-layer target)")
 		byz     = flag.Bool("byzantine", false, "run Byzantine adversary oracle rounds and their invariant checkers")
@@ -59,7 +67,8 @@ func main() {
 		prevote = flag.Bool("prevote", false, "enable raft pre-vote on every node")
 		chkq    = flag.Bool("checkquorum", false, "enable raft check-quorum on every node")
 		wan     = flag.Bool("wan", false, "run the WAN stability sweep instead of a fault campaign")
-		seeds   = flag.Int("seeds", 20, "number of consecutive seeds in the -wan sweep")
+		churn   = flag.Bool("churn", false, "run the continuous-churn acceptance sweep instead of a fault campaign")
+		seeds   = flag.Int("seeds", 20, "number of consecutive seeds in the -wan / -churn sweeps")
 		soak    = flag.Duration("soak", 0, "keep running campaigns with consecutive seeds for this long")
 		out     = flag.String("out", "chaos-replay.json", "replay file written on failure (or with -dump)")
 		dump    = flag.Bool("dump", false, "write the replay file even when the campaign passes")
@@ -84,6 +93,11 @@ func main() {
 
 	if *wan {
 		runWANSweep(*seed, *seeds, *verbose)
+		return
+	}
+
+	if *churn {
+		runChurnSweep(*seed, *seeds, *steps, *m, *n, *verbose)
 		return
 	}
 
@@ -159,6 +173,46 @@ func runWANSweep(seed int64, n int, verbose bool) {
 		n, spuriousOff)
 }
 
+// runChurnSweep is the -churn mode: the continuous-churn acceptance
+// check. Seeds seed..seed+n-1 run full two-layer ChurnMix campaigns with
+// the churn oracle and failure detector armed. Every seed must pass all
+// invariants (directory convergence, share-index soundness, churn
+// accuracy, plus the standing safety/liveness/exactness checks), and the
+// sweep as a whole must exercise real joins, departures and handoffs —
+// a sweep that never changed the membership proves nothing and exits 1.
+func runChurnSweep(seed int64, n, steps, m, sub int, verbose bool) {
+	failed := false
+	joins, departs, handoffs := 0, 0, 0
+	for i := 0; i < n; i++ {
+		c := chaos.Campaign{
+			Seed: seed + int64(i), Steps: steps, Target: chaos.TargetTwoLayer,
+			Mix: chaos.ChurnMix, Churn: true, Detector: true,
+			Subgroups: m, SubgroupSize: sub, SACRounds: -1,
+		}
+		rep := c.Run()
+		joins += rep.Stats.Joins
+		departs += rep.Stats.Departs
+		handoffs += rep.Stats.Handoffs
+		if !rep.Passed() {
+			failed = true
+			printReport(rep, true)
+		} else if verbose {
+			fmt.Printf("seed %-6d churn PASS: %d joins, %d departs, %d handoffs\n",
+				c.Seed, rep.Stats.Joins, rep.Stats.Departs, rep.Stats.Handoffs)
+		}
+	}
+	if joins == 0 || departs == 0 || handoffs == 0 {
+		fmt.Printf("churn sweep: %d joins, %d departs, %d handoffs across %d seeds — membership never fully exercised, checker is vacuous\n",
+			joins, departs, handoffs, n)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("churn sweep: %d seeds green with %d joins, %d departs, %d handoffs; directory and accuracy invariants held\n",
+		n, joins, departs, handoffs)
+}
+
 func campaign(seed int64, steps int, mix, target string, nodes, m, n int) chaos.Campaign {
 	c := chaos.Campaign{Seed: seed, Steps: steps, Nodes: nodes, Subgroups: m, SubgroupSize: n}
 	switch mix {
@@ -173,8 +227,11 @@ func campaign(seed int64, steps int, mix, target string, nodes, m, n int) chaos.
 	case "byzantine":
 		c.Mix = chaos.ByzantineMix
 		c.Byzantine = true
+	case "churn":
+		c.Mix = chaos.ChurnMix
+		c.Churn = true
 	default:
-		log.Fatalf("unknown mix %q (want mixed | crash | partition | flap | byzantine)", mix)
+		log.Fatalf("unknown mix %q (want mixed | crash | partition | flap | byzantine | churn)", mix)
 	}
 	switch target {
 	case "raft-kv":
@@ -224,6 +281,9 @@ func printReport(rep *chaos.Report, showViolations bool) {
 		s.Crashes, s.Restarts, s.Partitions, s.NetFaults, s.Flaps, s.LeaderChanges, s.Commits, s.SACRounds, s.FinalVirtualMs)
 	if s.Byzantines > 0 || s.ByzantineDetections > 0 {
 		fmt.Printf("           byzantine: %d adversaries, %d detections\n", s.Byzantines, s.ByzantineDetections)
+	}
+	if s.Joins > 0 || s.Departs > 0 || s.Handoffs > 0 {
+		fmt.Printf("           churn: %d joins, %d departs, %d handoffs\n", s.Joins, s.Departs, s.Handoffs)
 	}
 	if showViolations {
 		for _, v := range rep.Violations {

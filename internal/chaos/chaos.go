@@ -41,6 +41,19 @@
 //	                        (unguarded) aggregation must violate the
 //	                        tolerance — proof the checkers can fail
 //
+// The continuous-churn track (ActChurn actions on TargetTwoLayer plus
+// Campaign.Churn oracle episodes, see churnoracle.go) adds three more:
+//
+//	Directory convergence   after quiesce, every live FedAvg-layer
+//	                        directory replica holds identical state and
+//	                        it matches the admitted membership exactly
+//	Share-index soundness   membership changes never assign duplicate
+//	                        share indices within a subgroup, and each
+//	                        round's k-of-n geometry covers all shares
+//	Churn accuracy          training curves under mid-training
+//	                        join/leave stay within a fixed tolerance of
+//	                        the equal-seed fixed-membership baseline
+//
 // Everything is derived from Campaign.Seed through dedicated rand
 // streams and runs on one goroutine under virtual time, so the same seed
 // always produces the identical schedule, the identical execution and
@@ -108,6 +121,13 @@ const (
 	// the guard's honest-majority precondition with 3-way replication —
 	// and only subgroups of ≥ 4 peers can host one (f < n/3).
 	ActByzantine ActionKind = "byzantine"
+	// ActChurn fires one continuous-churn control-plane operation on the
+	// targeted subgroup: Rank selects between admitting a brand-new peer
+	// (cluster.AddPeer), gracefully departing a member (DepartPeer, with
+	// model handoff and directory leave) and a same-identity handoff
+	// (ReplacePeer: persisted raft state + model transferred to a
+	// successor process). Two-layer target only; a no-op on raft-kv.
+	ActChurn ActionKind = "churn"
 )
 
 // Action is one scheduled fault. Node-targeting actions carry a rank, not
@@ -152,6 +172,7 @@ type FaultMix struct {
 	Heal       int `json:"heal"`
 	Flap       int `json:"flap,omitempty"`
 	Byzantine  int `json:"byzantine,omitempty"`
+	Churn      int `json:"churn,omitempty"`
 }
 
 // DefaultMix is a balanced fault mix.
@@ -171,8 +192,13 @@ var FlappingMix = FaultMix{Flap: 5, Delay: 3, LeaderKill: 3, Loss: 2, Heal: 2, C
 // the robust-aggregation stress profile.
 var ByzantineMix = FaultMix{Byzantine: 5, Crash: 2, Restart: 3, LeaderKill: 2, Partition: 1, Heal: 3}
 
+// ChurnMix mixes continuous membership churn (joins, graceful
+// departures, same-identity handoffs) with crashes and leader kills —
+// the control-plane stress profile.
+var ChurnMix = FaultMix{Churn: 5, Crash: 2, Restart: 3, LeaderKill: 2, Heal: 3}
+
 func (m FaultMix) total() int {
-	return m.Crash + m.Restart + m.LeaderKill + m.Partition + m.Blackhole + m.Loss + m.Delay + m.Heal + m.Flap + m.Byzantine
+	return m.Crash + m.Restart + m.LeaderKill + m.Partition + m.Blackhole + m.Loss + m.Delay + m.Heal + m.Flap + m.Byzantine + m.Churn
 }
 
 // pick maps a roll in [0, total) to a kind.
@@ -185,7 +211,7 @@ func (m FaultMix) pick(roll int) ActionKind {
 		{ActPartition, m.Partition}, {ActBlackhole, m.Blackhole},
 		{ActLoss, m.Loss}, {ActDelay, m.Delay}, {ActHeal, m.Heal},
 		// Appended last so legacy mixes keep their roll mapping.
-		{ActFlap, m.Flap}, {ActByzantine, m.Byzantine},
+		{ActFlap, m.Flap}, {ActByzantine, m.Byzantine}, {ActChurn, m.Churn},
 	} {
 		if roll < kw.w {
 			return kw.k
@@ -250,6 +276,16 @@ type Campaign struct {
 	// ByzantineRounds is the number of Byzantine oracle rounds (default
 	// 2 when Byzantine is set; negative disables).
 	ByzantineRounds int `json:"byzantine_rounds,omitempty"`
+	// Churn arms the continuous-churn oracle track: ChurnRounds episodes
+	// of mid-training membership change driven through the
+	// round-boundary reconfiguration path against a directory mirror,
+	// with share-index-soundness and churn-accuracy invariants (see
+	// churnoracle.go). ActChurn actions in the schedule exercise the
+	// live control plane on TargetTwoLayer independently of this flag.
+	Churn bool `json:"churn,omitempty"`
+	// ChurnRounds is the number of churn oracle episodes (default 3 when
+	// Churn is set; negative disables).
+	ChurnRounds int `json:"churn_rounds,omitempty"`
 
 	// Detector enables the self-healing layer on TargetTwoLayer
 	// (cluster.Options.Detector) and arms two extra invariant checkers:
@@ -328,6 +364,9 @@ func (c Campaign) normalize() Campaign {
 	if c.Byzantine && c.ByzantineRounds == 0 {
 		c.ByzantineRounds = 2
 	}
+	if c.Churn && c.ChurnRounds == 0 {
+		c.ChurnRounds = 3
+	}
 	if c.ReconvergeBoundUs <= 0 {
 		c.ReconvergeBoundUs = int64(30 * simnet.Second)
 	}
@@ -349,7 +388,7 @@ func (c Campaign) Generate() []Action {
 	for i := 0; i < c.Steps; i++ {
 		a := Action{Step: i, Kind: c.Mix.pick(rng.Intn(total)), Group: rng.Intn(groups)}
 		switch a.Kind {
-		case ActCrash, ActRestart, ActLeaderKill, ActBlackhole, ActFlap:
+		case ActCrash, ActRestart, ActLeaderKill, ActBlackhole, ActFlap, ActChurn:
 			a.Rank = rng.Intn(1 << 16)
 		case ActByzantine:
 			a.Rank = rng.Intn(1 << 16)
@@ -401,6 +440,11 @@ type Stats struct {
 	// equivocation convictions) attributed to them.
 	Byzantines          int `json:"byzantines,omitempty"`
 	ByzantineDetections int `json:"byzantine_detections,omitempty"`
+	// Joins/Departs/Handoffs count completed continuous-churn control-
+	// plane operations (ActChurn actions plus churn oracle events).
+	Joins    int `json:"joins,omitempty"`
+	Departs  int `json:"departs,omitempty"`
+	Handoffs int `json:"handoffs,omitempty"`
 }
 
 // Report is the outcome of one executed campaign.
@@ -441,6 +485,9 @@ func (c Campaign) Execute(actions []Action) *Report {
 	}
 	if n.Byzantine && n.ByzantineRounds > 0 {
 		runByzantineOracle(n, rep)
+	}
+	if n.Churn && n.ChurnRounds > 0 {
+		runChurnOracle(n, rep)
 	}
 	return rep
 }

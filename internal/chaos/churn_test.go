@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// churnCampaign is the continuous-churn acceptance configuration: full
+// two-layer schedules drawn from ChurnMix (joins, graceful departures,
+// same-identity handoffs interleaved with crashes and leader kills),
+// the failure detector armed, and the churn oracle episodes running the
+// round-boundary reconfiguration path.
+func churnCampaign(seed int64) Campaign {
+	return Campaign{
+		Seed:      seed,
+		Steps:     24,
+		Target:    TargetTwoLayer,
+		Mix:       ChurnMix,
+		Churn:     true,
+		Detector:  true,
+		SACRounds: -1,
+	}
+}
+
+// TestChurnCampaignSweep is the headline acceptance run: twenty seeds
+// of continuous churn against the live control plane plus the churn
+// oracle, every invariant green — directory convergence, share-index
+// soundness and churn accuracy included — and with enough actual
+// membership change to prove the checkers saw churn.
+func TestChurnCampaignSweep(t *testing.T) {
+	joins, departs, handoffs := 0, 0, 0
+	for seed := int64(1); seed <= 20; seed++ {
+		rep := churnCampaign(seed).Run()
+		if len(rep.Violations) > 0 {
+			t.Fatalf("seed %d: %d violations, first: %s", seed, len(rep.Violations), rep.Violations[0])
+		}
+		joins += rep.Stats.Joins
+		departs += rep.Stats.Departs
+		handoffs += rep.Stats.Handoffs
+	}
+	if joins == 0 || departs == 0 || handoffs == 0 {
+		t.Fatalf("sweep exercised %d joins, %d departs, %d handoffs — every kind must occur", joins, departs, handoffs)
+	}
+}
+
+// TestChurnOracleDeterministic pins seed-replayability of the oracle
+// track: identical campaigns must agree on every stat and violation.
+func TestChurnOracleDeterministic(t *testing.T) {
+	run := func() *Report {
+		return Campaign{Seed: 42, Steps: 1, SACRounds: -1, Churn: true}.Run()
+	}
+	a, b := run(), run()
+	aj, _ := json.Marshal(struct {
+		S Stats
+		V []Violation
+	}{a.Stats, a.Violations})
+	bj, _ := json.Marshal(struct {
+		S Stats
+		V []Violation
+	}{b.Stats, b.Violations})
+	if string(aj) != string(bj) {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", aj, bj)
+	}
+	if a.Stats.Joins+a.Stats.Departs == 0 {
+		t.Fatal("oracle episodes applied no membership changes")
+	}
+}
+
+// TestChurnReplayRoundTrip dumps a churn campaign to a replay file and
+// re-executes it from disk: the Churn flag and the ActChurn actions must
+// survive serialization and reproduce the identical verdict and stats.
+func TestChurnReplayRoundTrip(t *testing.T) {
+	c := churnCampaign(3)
+	rep := c.Run()
+	if !rep.Passed() {
+		t.Fatalf("campaign failed: %v", rep.Violations)
+	}
+	path := filepath.Join(t.TempDir(), "churn-replay.json")
+	if err := WriteReplay(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	lc, actions, err := LoadReplay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lc.Churn {
+		t.Fatal("Churn flag lost in the replay file")
+	}
+	churns := 0
+	for _, a := range actions {
+		if a.Kind == ActChurn {
+			churns++
+		}
+	}
+	if churns == 0 {
+		t.Fatal("replay file carries no ActChurn actions")
+	}
+	rep2 := lc.Execute(actions)
+	aj, _ := json.Marshal(struct {
+		S Stats
+		V []Violation
+	}{rep.Stats, rep.Violations})
+	bj, _ := json.Marshal(struct {
+		S Stats
+		V []Violation
+	}{rep2.Stats, rep2.Violations})
+	if string(aj) != string(bj) {
+		t.Fatalf("replayed run diverged from the original:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+// TestChurnTelemetryDeterministic is the churn half of the telemetry
+// determinism regression: equal-seed churn campaigns against fresh
+// registries serialize to byte-identical snapshots (virtual-time clock,
+// deterministic control plane), different seeds do not, and the churn
+// counters actually reach the registry.
+func TestChurnTelemetryDeterministic(t *testing.T) {
+	run := func(seed int64) ([]byte, *telemetry.Registry) {
+		reg := telemetry.New()
+		c := churnCampaign(seed)
+		c.Telemetry = reg
+		rep := c.Run()
+		if !rep.Passed() {
+			t.Fatalf("seed %d campaign failed: %v", seed, rep.Violations)
+		}
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), reg
+	}
+	a, rega := run(2)
+	b, _ := run(2)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical seeds produced different telemetry JSON:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if c, _ := run(4); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced byte-identical telemetry")
+	}
+	snap := rega.Snapshot()
+	if snap.Counters["cluster/churn/joins"] == 0 && snap.Counters["cluster/churn/departs"] == 0 {
+		t.Error("no cluster churn counters reached the registry")
+	}
+	if snap.Counters["cluster/churn/directory_applied"] == 0 {
+		t.Error("no committed directory updates reached the registry")
+	}
+}
+
+// TestChurnScheduleProperties checks the generator: ChurnMix emits
+// ActChurn actions, and every legacy mix — ByzantineMix now included —
+// keeps its exact roll mapping, never emitting one.
+func TestChurnScheduleProperties(t *testing.T) {
+	c := Campaign{Seed: 6, Steps: 60, Target: TargetTwoLayer, Mix: ChurnMix}
+	churns := 0
+	for _, a := range c.Generate() {
+		if a.Kind == ActChurn {
+			churns++
+		}
+	}
+	if churns == 0 {
+		t.Fatal("ChurnMix generated no ActChurn actions in 60 steps")
+	}
+	for _, mix := range []FaultMix{DefaultMix, CrashHeavyMix, PartitionHeavyMix, FlappingMix, ByzantineMix} {
+		for _, a := range (Campaign{Seed: 9, Steps: 40, Mix: mix}).Generate() {
+			if a.Kind == ActChurn {
+				t.Fatalf("legacy mix %+v generated an ActChurn action", mix)
+			}
+		}
+	}
+}

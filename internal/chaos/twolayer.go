@@ -55,6 +55,10 @@ type twWorld struct {
 	// behavior) accumulated from ActByzantine actions. A non-empty map
 	// switches the quiesce aggregation round into robust mode.
 	byz map[int]sac.AdversaryPlan
+	// churned is raised by the first completed ActChurn operation: the
+	// quiesce phase then waits for in-flight admissions/departures to
+	// settle before judging liveness.
+	churned bool
 }
 
 // executeTwoLayer runs one schedule against a fresh two-layer cluster.
@@ -244,7 +248,55 @@ func (w *twWorld) apply(a Action) {
 		}
 		w.byz[g] = sac.AdversaryPlan{a.Rank % n: b}
 		s.Byzantines++
+	case ActChurn:
+		// Rank selects both the operation and (for departures and
+		// handoffs) the target among the eligible members. Operations
+		// that are currently impossible — floor reached, no live target —
+		// simply skip; the schedule stays deterministic because
+		// eligibility is itself a deterministic function of the run.
+		g := a.Group % w.m // churn addresses subgroups, never the fed layer
+		switch a.Rank % 3 {
+		case 0: // admit a brand-new peer
+			if _, err := w.sys.AddPeer(g); err == nil {
+				s.Joins++
+				w.churned = true
+			}
+		case 1: // graceful departure (model handoff + directory leave)
+			cands := w.churnCandidates(g, false)
+			if len(cands) > 0 {
+				if err := w.sys.DepartPeer(cands[(a.Rank/3)%len(cands)]); err == nil {
+					s.Departs++
+					w.churned = true
+				}
+			}
+		default: // same-identity handoff to a successor process
+			cands := w.churnCandidates(g, true)
+			if len(cands) > 0 {
+				if _, err := w.sys.ReplacePeer(cands[(a.Rank/3)%len(cands)]); err == nil {
+					s.Handoffs++
+					w.churned = true
+				}
+			}
+		}
 	}
+}
+
+// churnCandidates lists subgroup g's members eligible for a departure or
+// (mustLive) a same-identity handoff: admitted, not already departing,
+// and live when the operation needs a running process.
+func (w *twWorld) churnCandidates(g int, mustLive bool) []uint64 {
+	var out []uint64
+	for _, id := range w.sys.SubgroupPeers(g) {
+		p := w.sys.Peer(id)
+		if p == nil || p.Departing() {
+			continue
+		}
+		if mustLive && p.Down() {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
 }
 
 // flap darkens id's outbound links on net for flapDark, releases them
@@ -394,6 +446,16 @@ func (w *twWorld) quiesce() {
 	}
 	revive()
 
+	// Continuous churn must settle before liveness is judged: an
+	// admission or departure still in flight keeps changing membership,
+	// and its retry loops only need the leaders that the calm network is
+	// now re-electing.
+	if w.churned && !sys.Sim.RunWhileNot(sys.ChurnIdle, deadline) {
+		w.led.violate(now(), "churn-liveness",
+			"admissions/departures still in flight after the schedule quiesced")
+		return
+	}
+
 	elected := func() bool {
 		for g := 0; g < w.m; g++ {
 			if sys.SubgroupLeader(g) == raft.None {
@@ -425,6 +487,24 @@ func (w *twWorld) quiesce() {
 		}
 		return true
 	}, deadline)
+
+	// Directory invariants: every live FedAvg-layer replica must agree
+	// (equal checksums — replicas lag commits only while appends are in
+	// flight, so the calm network converges them), and the agreed state
+	// must record exactly the admitted membership with sound share
+	// indices. Checked on every campaign: the directory is seeded at
+	// bootstrap, so a fault-only schedule must preserve it too.
+	if !sys.Sim.RunWhileNot(sys.DirectoryConverged, deadline) {
+		detail := "live directory replicas still disagree after the schedule quiesced:"
+		for _, id := range sys.DirectoryReplicas() {
+			d := sys.Peer(id).DirectoryReplica()
+			detail += fmt.Sprintf(" peer%d{v%d len%d sum%x}", id, d.Version(), d.Len(), d.Checksum())
+		}
+		w.led.violate(now(), "directory-convergence", detail)
+	} else if !sys.DirectoryMatchesMembership() {
+		w.led.violate(now(), "share-index-soundness",
+			"FedAvg leader's directory does not match the admitted membership (or assigns unsound share indices)")
+	}
 
 	// Bounded re-convergence: with the network calm and every peer
 	// revived, no live detector may keep a stale Suspect/Down verdict

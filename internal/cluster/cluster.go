@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/directory"
 	"repro/internal/health"
 	"repro/internal/raft"
 	"repro/internal/simnet"
@@ -201,6 +202,22 @@ type Peer struct {
 	// rtt tracks per-sender round-trip times observed from delivered raft
 	// traffic; the AutoTune loop derives election timeout bands from it.
 	rtt *health.RTTStats
+
+	// Continuous-churn control plane state (see churn.go).
+	//
+	// addr is the peer's dialable address, registered in the directory.
+	// model is the peer's local model vector (what a graceful handoff
+	// transfers through the checkpoint wire kind). inherited holds a
+	// model checkpoint received from a gracefully departing co-member.
+	// dir is this peer's replica of the peer directory; it is mutated
+	// only by directory entries committed on the FedAvg-layer log, so
+	// every replica is a pure function of that log. departing marks a
+	// peer whose departure protocol is in flight.
+	addr      string
+	model     []float64
+	inherited []float64
+	dir       *directory.Directory
+	departing bool
 }
 
 // Down reports whether the peer has crashed.
@@ -252,6 +269,15 @@ type System struct {
 
 	healthTrans []HealthTransition
 	lastSeen    map[uint64]map[uint64]simnet.Time
+
+	// Continuous-churn control plane state (see churn.go). nextID is the
+	// next unassigned peer id for AddPeer; seedFrames is the bootstrap
+	// directory (the initial membership, part of configuration exactly
+	// like raft's initial Peers list) every directory replica starts
+	// from; pendingChurn counts admissions/departures in flight.
+	nextID       uint64
+	seedFrames   []byte
+	pendingChurn int
 }
 
 // Observer receives raw role transitions from every raft node in the
@@ -306,7 +332,7 @@ func New(opts Options) (*System, error) {
 		}
 		s.bySub = append(s.bySub, ids)
 		for _, pid := range ids {
-			p := &Peer{ID: pid, Subgroup: g, sys: s}
+			p := &Peer{ID: pid, Subgroup: g, sys: s, addr: peerAddr(pid)}
 			if opts.AutoTune {
 				p.rtt = health.NewRTTStats(0)
 			}
@@ -349,6 +375,18 @@ func New(opts Options) (*System, error) {
 			}
 		}
 		s.subGroups = append(s.subGroups, group)
+	}
+	s.nextID = id
+	// The bootstrap directory is configuration, not log: every directory
+	// replica (present and future) starts from the same seed frames, so
+	// replaying the FedAvg-layer log on top converges them (churn.go).
+	s.seedFrames = s.buildSeedDirectory()
+	for _, p := range s.peers {
+		d, err := directory.DecodeSnapshot(s.seedFrames)
+		if err != nil {
+			return nil, err
+		}
+		p.dir = d
 	}
 	s.fedGroup = simnet.NewGroup(s.Sim, "fedavg", opts.Latency, rand.New(rand.NewSource(opts.Seed*77)))
 	s.fedGroup.Topo = opts.Topology
@@ -617,16 +655,20 @@ func (s *System) wireFedCallbacks(p *Peer) {
 		}
 	}
 	p.fedHost.OnCommit = func(e raft.Entry) {
-		if e.Type != raft.EntryConfChange {
-			return
-		}
-		cc, err := raft.DecodeConfChange(e.Data)
-		if err != nil {
-			return
-		}
-		if cc.Add && cc.NodeID == p.ID && !p.joined {
-			p.joined = true
-			s.record(EvJoinedFedAvg, p.ID, p.Subgroup)
+		switch e.Type {
+		case raft.EntryConfChange:
+			cc, err := raft.DecodeConfChange(e.Data)
+			if err != nil {
+				return
+			}
+			if cc.Add && cc.NodeID == p.ID && !p.joined {
+				p.joined = true
+				s.record(EvJoinedFedAvg, p.ID, p.Subgroup)
+			}
+		case raft.EntryNormal:
+			// Directory updates ride the FedAvg-layer log as complete
+			// KindDirectory wire frames (churn.go).
+			s.applyDirectoryEntry(p, e.Data)
 		}
 	}
 }

@@ -242,6 +242,36 @@ func NewSystem(cfg Config, rng *rand.Rand) (*System, error) {
 // Config returns the system's configuration.
 func (s *System) Config() Config { return s.cfg }
 
+// Reconfigure applies a membership change between rounds: the subgroup
+// sizes (and per-subgroup SAC thresholds, same semantics as Config.K)
+// are replaced and the per-subgroup scratch pool is resized to match.
+// The continuous-churn control plane calls this at a round boundary
+// with sizes derived from the replicated peer directory — secretshare's
+// k-of-n geometry is recomputed per round from directory state, never
+// mid-round. The traffic counter and telemetry persist across the
+// change (they account the deployment, not one membership epoch), as
+// does every other configuration field. A rejected configuration leaves
+// the system untouched.
+func (s *System) Reconfigure(sizes, k []int) error {
+	next := s.cfg
+	next.Sizes = append([]int(nil), sizes...)
+	next.K = append([]int(nil), k...)
+	if err := next.validate(); err != nil {
+		return err
+	}
+	scratches := make([]*sac.Scratch, len(next.Sizes))
+	for g := range scratches {
+		if g < len(s.scratches) {
+			scratches[g] = s.scratches[g] // keep warmed buffers where possible
+		} else {
+			scratches[g] = &sac.Scratch{}
+		}
+	}
+	s.cfg = next
+	s.scratches = scratches
+	return nil
+}
+
 // Counter exposes the cumulative traffic counter.
 func (s *System) Counter() *transport.Counter { return s.counter }
 

@@ -1,0 +1,58 @@
+package costmodel
+
+import "fmt"
+
+// Closed forms for the continuous-churn control plane's traffic
+// (DESIGN.md §14): directory updates replicated on the FedAvg-layer
+// log, and graceful-handoff state transfers. As with the compression
+// forms, the byte counts are fixed by the wire codec (KindDirectory and
+// KindCheckpoint frames) and restated here independently so measured
+// bytes, the wire encoder and this model can be cross-checked.
+
+// DirectoryUpdateBytes returns the on-wire size of one directory update
+// whose address string has addrLen bytes: the 12-byte frame header plus
+// a 21-byte fixed payload (op u8, id u64, subgroup u32, shareIdx u32,
+// addr length u32) plus the address itself. Leave updates carry an
+// empty address, so their size is DirectoryUpdateBytes(0).
+func DirectoryUpdateBytes(addrLen int) (int64, error) {
+	if addrLen < 0 {
+		return 0, fmt.Errorf("costmodel: address length %d", addrLen)
+	}
+	return 33 + int64(addrLen), nil
+}
+
+// DirectoryChurnBytes returns the FedAvg-layer replication traffic of a
+// churn episode with the given join and leave counts: each committed
+// update is carried once to each of the m−1 followers of an m-member
+// layer (the proposing leader appends locally for free), joins at
+// DirectoryUpdateBytes(addrLen) and leaves at DirectoryUpdateBytes(0).
+// This is the entire steady-state cost of the directory — a membership
+// change is one log entry, independent of system size N, versus the
+// O(N) gossip or full-list rebroadcast a naive design would pay.
+func DirectoryChurnBytes(joins, leaves, m, addrLen int) (int64, error) {
+	if joins < 0 || leaves < 0 {
+		return 0, fmt.Errorf("costmodel: negative churn counts (%d joins, %d leaves)", joins, leaves)
+	}
+	if m < 1 {
+		return 0, fmt.Errorf("costmodel: FedAvg layer of %d members", m)
+	}
+	joinBytes, err := DirectoryUpdateBytes(addrLen)
+	if err != nil {
+		return 0, err
+	}
+	leaveBytes, _ := DirectoryUpdateBytes(0)
+	return int64(m-1) * (int64(joins)*joinBytes + int64(leaves)*leaveBytes), nil
+}
+
+// HandoffModelBytes returns the checkpoint-frame size of a graceful
+// handoff's model transfer under the cluster layer's single-tensor
+// convention (one parameter named "model" holding the whole dim-length
+// vector): 12-byte header + 4 (param count) + 9 (name) + 4 (size) +
+// 4 + 8·dim (weights), i.e. 33 + 8·dim — the paper's 8·dim cost unit
+// plus 33 bytes of framing.
+func HandoffModelBytes(dim int) (int64, error) {
+	if dim < 0 {
+		return 0, fmt.Errorf("costmodel: dim %d", dim)
+	}
+	return 33 + 8*int64(dim), nil
+}

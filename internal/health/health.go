@@ -334,6 +334,20 @@ func (d *Detector) Reset() {
 	d.rtt.Reset()
 }
 
+// Forget drops every trace of a departed peer: verdict state, watch
+// membership and RTT history, without emitting a transition. Cluster
+// drivers call it when a peer leaves the membership for good — keeping
+// the row would both leak (the table otherwise only ever grows) and
+// poison a future re-admission of the same id with a stale Down
+// verdict. A later Observe or SetWatch of the id re-adds it fresh, with
+// activity based at that moment.
+func (d *Detector) Forget(peer uint64) {
+	d.mu.Lock()
+	delete(d.peers, peer)
+	d.mu.Unlock()
+	d.rtt.Forget(peer)
+}
+
 // AllUp reports whether every watched peer is currently Up. Chaos
 // quiesce uses it as the detector re-convergence predicate.
 func (d *Detector) AllUp() bool {

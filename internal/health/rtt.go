@@ -62,6 +62,14 @@ func (r *RTTStats) Observe(peer uint64, rttUs int64) {
 	r.mu.Unlock()
 }
 
+// Forget drops a single peer's samples — the departed-peer companion of
+// Detector.Forget. A later Observe starts a fresh ring.
+func (r *RTTStats) Forget(peer uint64) {
+	r.mu.Lock()
+	delete(r.rings, peer)
+	r.mu.Unlock()
+}
+
 // Samples returns how many samples are currently held for a peer.
 func (r *RTTStats) Samples(peer uint64) int {
 	r.mu.Lock()

@@ -1,0 +1,130 @@
+package raft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestConfChangeSnapshotRestart drives the full membership lifecycle the
+// churn control plane relies on: add a node, compact the log so the
+// membership lives only in the snapshot, restart a node from that
+// persisted snapshot, then remove the added node — asserting membership
+// agreement and election liveness at every step. This pins the
+// interaction the individual ConfChange and snapshot tests each cover
+// alone: a restarted node must recover the post-add membership from its
+// snapshot (the log entries that carried the ConfChange are gone), and a
+// later removal must still replicate to it.
+func TestConfChangeSnapshotRestart(t *testing.T) {
+	c := newCluster(t, 1, 2, 3)
+	l := c.waitLeader(100)
+	for i := 0; i < 4; i++ {
+		if err := l.Propose([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.run(10)
+
+	// Add node 4: it knows the pre-add membership, not itself.
+	n4, err := NewNode(Config{
+		ID: 4, Peers: []uint64{1, 2, 3},
+		ElectionTickMin: 10, ElectionTickMax: 20, HeartbeatTick: 2,
+		Rng: rand.New(rand.NewSource(44)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.nodes[4] = n4
+	if err := l.ProposeConfChange(ConfChange{Add: true, NodeID: 4}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(20)
+	for id, n := range c.nodes {
+		if !n.IsMember(4) {
+			t.Fatalf("node %d has not applied the add", id)
+		}
+	}
+
+	// Compact a follower at its applied index: the ConfChange entry is
+	// truncated away, so the 4-node membership now survives only inside
+	// the snapshot.
+	var fid uint64
+	for id := range c.nodes {
+		if id != c.leader().ID() && id != 4 {
+			fid = id
+			break
+		}
+	}
+	f := c.nodes[fid]
+	if err := f.Compact(f.CommitIndex(), []byte("post-add-state")); err != nil {
+		t.Fatal(err)
+	}
+	ps := f.Persist()
+	if ps.Snapshot == nil {
+		t.Fatal("persisted state carries no snapshot")
+	}
+	snapHasFour := false
+	for _, p := range ps.Snapshot.Peers {
+		if p == 4 {
+			snapHasFour = true
+		}
+	}
+	if !snapHasFour {
+		t.Fatalf("snapshot membership %v does not include the added node", ps.Snapshot.Peers)
+	}
+
+	// Restart that follower from its persisted snapshot + tail.
+	restored, err := Restore(Config{
+		ID: fid, ElectionTickMin: 10, ElectionTickMax: 20, HeartbeatTick: 2,
+		Rng: rand.New(rand.NewSource(int64(fid) * 13)),
+	}, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.nodes[fid] = restored
+	if !restored.IsMember(4) {
+		t.Fatal("restarted node lost the snapshot membership")
+	}
+	if restored.SnapshotIndex() != f.SnapshotIndex() {
+		t.Fatalf("restored snapshot index %d, want %d", restored.SnapshotIndex(), f.SnapshotIndex())
+	}
+	c.run(20)
+
+	// Remove node 4 through the (possibly re-elected) leader; every
+	// survivor, the restarted node included, must drop it.
+	l = c.waitLeader(100)
+	if err := l.ProposeConfChange(ConfChange{Add: false, NodeID: 4}); err != nil {
+		t.Fatal(err)
+	}
+	c.run(20)
+	for id, n := range c.nodes {
+		if id != 4 && n.IsMember(4) {
+			t.Fatalf("node %d still counts the removed node a member", id)
+		}
+	}
+	if got := len(l.Members()); got != 3 {
+		t.Fatalf("members = %d, want 3", got)
+	}
+
+	// Elections stay live on the reduced membership: silence the removed
+	// node (it never learns of its own removal), kill the leader and
+	// demand a successor that can still commit.
+	c.down[4] = true
+	c.down[l.ID()] = true
+	nl := c.waitLeader(400)
+	if nl.ID() == l.ID() || nl.ID() == 4 {
+		t.Fatalf("new leader %d should be a surviving member", nl.ID())
+	}
+	if err := nl.Propose([]byte("post-removal")); err != nil {
+		t.Fatal(err)
+	}
+	c.run(10)
+	found := false
+	for _, e := range c.committed[fid] {
+		if string(e.Data) == "post-removal" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("restarted node did not commit entries after the removal")
+	}
+}

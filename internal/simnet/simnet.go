@@ -233,6 +233,21 @@ func (g *Group) Add(node *raft.Node) (*Host, error) {
 	return h, nil
 }
 
+// Remove unregisters a host from the group: its tick loop stops, no
+// further messages are delivered to it, and its ID becomes free for a
+// future Add. The continuous-churn control plane (internal/cluster)
+// calls this after a peer's removal ConfChange commits; in-flight
+// deliveries to the removed ID are dropped exactly like deliveries to
+// an unknown host.
+func (g *Group) Remove(id uint64) {
+	h, ok := g.hosts[id]
+	if !ok {
+		return
+	}
+	h.down = true // strands the pending tick closure
+	delete(g.hosts, id)
+}
+
 // Host returns the host for id, or nil.
 func (g *Group) Host(id uint64) *Host { return g.hosts[id] }
 
@@ -298,10 +313,31 @@ func (h *Host) Restart(cfg raft.Config) error {
 	if !h.hasState {
 		return fmt.Errorf("simnet: host %d has no persisted state", h.Node.ID())
 	}
-	node, err := raft.Restore(cfg, h.persisted)
+	return h.restartFrom(cfg, h.persisted)
+}
+
+// RestartFrom revives a crashed host from an explicitly transferred
+// persisted state instead of its own — the graceful-handoff path: a
+// departing peer hands its raft.PersistentState (and model checkpoint)
+// to a successor process, which resumes the same logical node without
+// replaying history. cfg supplies timing parameters; its ID must match.
+func (h *Host) RestartFrom(cfg raft.Config, ps raft.PersistentState) error {
+	if !h.down {
+		return fmt.Errorf("simnet: host %d is not down", h.Node.ID())
+	}
+	if cfg.ID != h.Node.ID() {
+		return fmt.Errorf("simnet: restart with ID %d on host %d", cfg.ID, h.Node.ID())
+	}
+	return h.restartFrom(cfg, ps)
+}
+
+func (h *Host) restartFrom(cfg raft.Config, ps raft.PersistentState) error {
+	node, err := raft.Restore(cfg, ps)
 	if err != nil {
 		return err
 	}
+	h.persisted = ps
+	h.hasState = true
 	h.Node = node
 	h.down = false
 	h.lastState, h.lastTerm, h.lastLeader = raft.Follower, node.Term(), raft.None

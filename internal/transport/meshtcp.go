@@ -32,9 +32,11 @@ type TCPMesh struct {
 	n         int
 	counter   *Counter
 	crashed   []bool
+	removed   []bool
 	inboxes   [][]Message
 	listeners []net.Listener
 	addrs     []string
+	served    []map[net.Conn]struct{} // live inbound conns per peer
 
 	conns map[int]*tcpConn // keyed by destination peer
 	comp  *compression
@@ -62,10 +64,15 @@ func NewTCPMesh(n int, counter *Counter) (*TCPMesh, error) {
 		n:         n,
 		counter:   counter,
 		crashed:   make([]bool, n),
+		removed:   make([]bool, n),
 		inboxes:   make([][]Message, n),
 		listeners: make([]net.Listener, n),
 		addrs:     make([]string, n),
+		served:    make([]map[net.Conn]struct{}, n),
 		conns:     make(map[int]*tcpConn),
+	}
+	for i := 0; i < n; i++ {
+		m.served[i] = make(map[net.Conn]struct{})
 	}
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -96,6 +103,14 @@ func (m *TCPMesh) acceptLoop(peer int, ln net.Listener) {
 func (m *TCPMesh) serveConn(peer int, conn net.Conn) {
 	defer m.wg.Done()
 	defer conn.Close()
+	m.mu.Lock()
+	m.served[peer][conn] = struct{}{}
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.served[peer], conn)
+		m.mu.Unlock()
+	}()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	var scratch []byte
@@ -172,6 +187,33 @@ func (m *TCPMesh) Crash(peer int) error {
 	return nil
 }
 
+// RemovePeer permanently detaches a peer from the mesh: its listener
+// closes, every inbound connection serving it is torn down (the serve
+// goroutines exit), the cached outbound connection toward it is dropped
+// and its inbox is discarded. Unlike Crash — a fault the fabric keeps
+// accounting bytes toward, because the sender cannot know the receiver
+// is gone — sends to or from a removed peer fail loudly: the membership
+// no longer contains it, so traffic toward it is a protocol bug.
+func (m *TCPMesh) RemovePeer(peer int) error {
+	if peer < 0 || peer >= m.n {
+		return fmt.Errorf("transport: peer %d out of [0,%d)", peer, m.n)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.removed[peer] = true
+	m.crashed[peer] = true
+	m.inboxes[peer] = nil
+	m.listeners[peer].Close()
+	for c := range m.served[peer] {
+		c.Close()
+	}
+	if c, ok := m.conns[peer]; ok {
+		c.c.Close()
+		delete(m.conns, peer)
+	}
+	return nil
+}
+
 // SetCompression mirrors Mesh.SetCompression for the socket fabric: a
 // compressed Send puts an actual quantized/sparse wire frame on the
 // socket (the receiver reconstructs the dense payload on decode) and
@@ -198,6 +240,14 @@ func (m *TCPMesh) Send(msg Message) error {
 	if m.closed {
 		m.mu.Unlock()
 		return fmt.Errorf("transport: tcp mesh closed")
+	}
+	if m.removed[msg.From] || m.removed[msg.To] {
+		gone := msg.To
+		if m.removed[msg.From] {
+			gone = msg.From
+		}
+		m.mu.Unlock()
+		return fmt.Errorf("transport: peer %d removed from mesh", gone)
 	}
 	if m.crashed[msg.From] {
 		m.mu.Unlock()

@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/raft"
+)
+
+// waitGoroutinesBelow polls until the process goroutine count drops to
+// at most want, failing the test after the deadline. Goroutine counts
+// are global, so callers must make their deltas unambiguous (spawn the
+// goroutines under test, measure, tear down, expect the exact drop).
+func waitGoroutinesBelow(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("still %d goroutines, want ≤ %d — sender/serve goroutine leaked", runtime.NumGoroutine(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRaftTCPRemovePeerStopsSender is the goroutine-leak regression for
+// peer removal: the departed peer's sender goroutine must exit, its
+// circuit state must disappear, queued messages must drain as drops, and
+// a later re-registration must start from a clean circuit.
+func TestRaftTCPRemovePeerStopsSender(t *testing.T) {
+	tr, err := NewRaftTCP(1, map[uint64]string{1: "127.0.0.1:0"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	base := runtime.NumGoroutine()
+
+	// Point peer 2 at a dead port and push traffic until its circuit
+	// opens — the sender goroutine is now alive with failure count and
+	// dial backoff accumulated.
+	tr.RegisterAddr(2, "127.0.0.1:1")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			st, _ := tr.PeerState(2)
+			t.Fatalf("circuit never opened; state %v", st)
+		}
+		if err := tr.Send(raft.Message{Type: raft.MsgAppend, From: 1, To: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if st, ok := tr.PeerState(2); ok && (st == CircuitDown || st == CircuitProbing) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	tr.RemovePeer(2)
+
+	// All per-peer state is gone: no circuit, no address, and the sender
+	// goroutine exits (back to the pre-sender goroutine count).
+	if _, ok := tr.PeerState(2); ok {
+		t.Fatal("removed peer still has circuit state")
+	}
+	if err := tr.Send(raft.Message{Type: raft.MsgAppend, From: 1, To: 2}); err == nil {
+		t.Fatal("send to removed peer must fail with unknown destination")
+	}
+	waitGoroutinesBelow(t, base)
+
+	// Removing again (or an id that never had a sender) is a no-op.
+	tr.RemovePeer(2)
+	tr.RemovePeer(99)
+
+	// Readopt under the same id: a real peer registered after removal
+	// gets a fresh sender — clean circuit, no inherited backoff — and
+	// traffic flows immediately.
+	t2, err := NewRaftTCP(2, map[uint64]string{1: tr.Addr(), 2: "127.0.0.1:0"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	tr.RegisterAddr(2, t2.Addr())
+	if err := tr.Send(raft.Message{Type: raft.MsgAppend, From: 1, To: 2, Term: 9}); err != nil {
+		t.Fatal(err)
+	}
+	got := recvWithTimeout(t, t2.Recv())
+	if got.Term != 9 {
+		t.Fatalf("readopted peer received %+v", got)
+	}
+	if st, ok := tr.PeerState(2); !ok || st != CircuitUp {
+		t.Fatalf("readopted peer circuit = %v (ok=%v), want fresh CircuitUp", st, ok)
+	}
+}
+
+// TestTCPMeshRemovePeer checks the synchronous fabric: removal tears
+// down the peer's listener, serve goroutines and the cached outbound
+// connection; sends touching the removed peer fail loudly while the
+// rest of the mesh keeps working.
+func TestTCPMeshRemovePeer(t *testing.T) {
+	m, err := NewTCPMesh(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Establish a live connection toward peer 2 (spawns its serveConn).
+	if err := m.Send(Message{From: 0, To: 2, Kind: "share", Payload: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+
+	if err := m.RemovePeer(2); err != nil {
+		t.Fatal(err)
+	}
+	// Accept loop + serve goroutine for peer 2 both exit.
+	waitGoroutinesBelow(t, base-2)
+
+	if m.Alive(2) {
+		t.Fatal("removed peer reported alive")
+	}
+	if err := m.Send(Message{From: 0, To: 2, Kind: "share", Payload: []float64{3}}); err == nil {
+		t.Fatal("send to removed peer must fail")
+	}
+	if err := m.Send(Message{From: 2, To: 0, Kind: "share", Payload: []float64{3}}); err == nil {
+		t.Fatal("send from removed peer must fail")
+	}
+	if msgs, err := m.Drain(2); err != nil || len(msgs) != 0 {
+		t.Fatalf("removed peer inbox = %v (err %v), want empty", msgs, err)
+	}
+
+	// Survivors still talk.
+	if err := m.Send(Message{From: 0, To: 1, Kind: "share", Payload: []float64{4, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := m.Drain(1)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("survivor drain = %v (err %v)", msgs, err)
+	}
+	if err := m.RemovePeer(2); err != nil {
+		t.Fatal("second removal must be a no-op, got", err)
+	}
+}

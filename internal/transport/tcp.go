@@ -276,7 +276,7 @@ func (t *RaftTCP) Send(m raft.Message) error {
 	}
 	s, ok := t.senders[m.To]
 	if !ok {
-		s = &peerSender{t: t, id: m.To, ch: make(chan raft.Message, senderQueueCap)}
+		s = &peerSender{t: t, id: m.To, ch: make(chan raft.Message, senderQueueCap), stop: make(chan struct{})}
 		t.senders[m.To] = s
 		t.wg.Add(1)
 		go s.loop()
@@ -302,6 +302,33 @@ func (t *RaftTCP) RegisterAddr(id uint64, addr string) {
 	t.mu.Unlock()
 	if s != nil && old != addr {
 		s.reset.Store(true)
+	}
+}
+
+// RemovePeer forgets a peer removed from the membership: its address
+// mapping is deleted, its sender goroutine is stopped (closing any open
+// connection) and whatever was still queued toward it is drained and
+// counted as dropped. Circuit state, failure counts and dial backoff go
+// away with the sender, so a later RegisterAddr + Send toward a reused
+// id starts from a clean circuit. Safe to call for ids that never had a
+// sender, and idempotent.
+func (t *RaftTCP) RemovePeer(id uint64) {
+	t.mu.Lock()
+	delete(t.addrs, id)
+	s := t.senders[id]
+	delete(t.senders, id)
+	t.mu.Unlock()
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	for {
+		select {
+		case <-s.ch:
+			s.drop()
+		default:
+			return
+		}
 	}
 }
 
@@ -369,12 +396,14 @@ func (t *RaftTCP) Close() error {
 // slow — dialing a dead host, a stalled TCP window — happens here, on
 // this peer's goroutine only.
 type peerSender struct {
-	t     *RaftTCP
-	id    uint64
-	ch    chan raft.Message
-	state atomic.Int32 // CircuitState
-	drops atomic.Int64
-	reset atomic.Bool // set by RegisterAddr on an address change
+	t        *RaftTCP
+	id       uint64
+	ch       chan raft.Message
+	stop     chan struct{} // closed by RemovePeer; ends this sender only
+	stopOnce sync.Once
+	state    atomic.Int32 // CircuitState
+	drops    atomic.Int64
+	reset    atomic.Bool // set by RegisterAddr on an address change
 }
 
 func (s *peerSender) drop() {
@@ -418,6 +447,8 @@ func (s *peerSender) loop() {
 	for {
 		select {
 		case <-s.t.done:
+			return
+		case <-s.stop:
 			return
 		case m := <-s.ch:
 			if s.reset.CompareAndSwap(true, false) {

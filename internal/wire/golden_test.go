@@ -52,6 +52,8 @@ func goldenFrames() map[string][]byte {
 		Sizes: []int{3, 2},
 		Delta: QuantDelta{Width: 2, Scale: 6.103515625e-05, Q: []int16{100, -200, 300, -400, 500}},
 	}
+	dirJoin := DirectoryUpdate{Op: DirJoin, ID: 10, Subgroup: 2, ShareIndex: 1, Addr: "peer-10:7100"}
+	dirLeave := DirectoryUpdate{Op: DirLeave, ID: 4, Subgroup: 1, ShareIndex: 0, Addr: "peer-4:7100"}
 	return map[string][]byte{
 		"raft_append_v1.wire":      AppendRaftFrame(nil, raftMsg),
 		"raft_snapshot_v1.wire":    AppendRaftFrame(nil, snapMsg),
@@ -62,6 +64,8 @@ func goldenFrames() map[string][]byte {
 		"delta_sparse_v1.wire":     AppendSparseFrame(nil, quant, sparse),
 		"delta_sparse_q8_v1.wire":  AppendSparseFrame(nil, quant, sparseQ),
 		"checkpoint_quant_v1.wire": AppendQuantCheckpointFrame(nil, qcp),
+		"directory_join_v1.wire":   AppendDirectoryFrame(nil, dirJoin),
+		"directory_leave_v1.wire":  AppendDirectoryFrame(nil, dirLeave),
 	}
 }
 
@@ -142,6 +146,14 @@ func TestGoldenWireFiles(t *testing.T) {
 				t.Fatalf("%s: decode: %v", name, err)
 			}
 			if re := AppendQuantCheckpointFrame(nil, qcp); !bytes.Equal(re, want) {
+				t.Errorf("%s: decode→re-encode not byte-identical", name)
+			}
+		case KindDirectory:
+			u, err := DecodeDirectoryPayload(want[HeaderSize:])
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if re := AppendDirectoryFrame(nil, u); !bytes.Equal(re, want) {
 				t.Errorf("%s: decode→re-encode not byte-identical", name)
 			}
 		}

@@ -74,6 +74,10 @@ const (
 	// KindCheckpointQuant frames carry one nn model checkpoint with
 	// fixed-point quantized weights.
 	KindCheckpointQuant Kind = 6
+	// KindDirectory frames carry one replicated peer-directory update
+	// (join/leave with subgroup and share index) — the FedAvg-layer
+	// log-entry payload of the continuous-churn control plane.
+	KindDirectory Kind = 7
 )
 
 // String returns the kind's wire-format name.
@@ -91,6 +95,8 @@ func (k Kind) String() string {
 		return "delta-sparse"
 	case KindCheckpointQuant:
 		return "checkpoint-quant"
+	case KindDirectory:
+		return "directory"
 	}
 	return fmt.Sprintf("kind(0x%02x)", byte(k))
 }
