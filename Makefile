@@ -10,13 +10,20 @@ GO ?= go
 # ratio budget (wire encode ≤ 0.5× gob; pooled SAC round ≤ 0.5× the
 # fresh round's allocs/op; int8 delta frame ≤ 0.25× the float64 frame's
 # bytes; the parallel Divide kernel allocation-free vs serial).
-BENCH_PATTERN := 'BenchmarkMatMul|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkPaperCNNTrainStep|BenchmarkClientTrainRound|BenchmarkRound15Peers|BenchmarkAggregate|BenchmarkRaftTick|BenchmarkSACRound|BenchmarkRaftTCPSend|BenchmarkEncodeModel|BenchmarkDecodeModelWire|BenchmarkEncodeDelta|BenchmarkDequantize|BenchmarkDivide'
+BENCH_PATTERN := 'BenchmarkMatMul|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkPaperCNNTrainStep|BenchmarkClientTrainRound|BenchmarkRound15Peers|BenchmarkAggregate|BenchmarkRaftTick|BenchmarkSACRound|BenchmarkRaftTCPSend|BenchmarkEncodeModel|BenchmarkDecodeModelWire|BenchmarkEncodeDelta|BenchmarkDequantize|BenchmarkDivide|BenchmarkMultiLayer|BenchmarkSimSchedule'
 BENCH_ARGS := -run '^$$' -bench $(BENCH_PATTERN) -benchmem -benchtime 10x ./...
 TELEMETRY_PAIRS := 'RaftTickLive=RaftTickNil,SACRoundLive=SACRoundNil,RaftTCPSendHealthyPeerAsync=RaftTCPSendHealthyPeerSync'
 WIRE_PAIRS := 'EncodeModelWire=EncodeModelGob@0.5,allocs:SACRoundAllocsPooled=SACRoundAllocsFresh@0.5'
 COMPRESS_PAIRS := 'bytes:EncodeDeltaQuant8=EncodeDeltaFloat64@0.25,allocs:DivideParallel/dim1e6=DivideSerial/dim1e6@1.0'
+# Scale-engine pairs: the parallel X-layer aggregation must not allocate
+# more than the serial one — the pooled scratch absorbs the fan-out —
+# with 0.1% headroom (~12 of ~12k allocs/op) because GC-conditional
+# runtime allocations smear strict equality by ±1 alloc; and the
+# measured traffic of a real aggregation must equal the Eq. 10 closed
+# form exactly (ReportMetric-pinned, gated from both sides).
+SCALE_PAIRS := 'allocs:MultiLayerAggregateWorkers4=MultiLayerAggregateSerial@1.001,bytes:MultiLayerBytesMeasured=MultiLayerBytesClosedForm@1.0,bytes:MultiLayerBytesClosedForm=MultiLayerBytesMeasured@1.0'
 
-.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry test-health test-wire test-byzantine test-compress test-wan test-churn
+.PHONY: all build vet test race chaos-smoke check bench bench-check test-telemetry test-health test-wire test-byzantine test-compress test-wan test-churn test-scale
 
 all: check
 
@@ -66,7 +73,7 @@ bench:
 	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -write
 
 bench-check:
-	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -check -pairs $(TELEMETRY_PAIRS),$(WIRE_PAIRS),$(COMPRESS_PAIRS) -pair-tolerance 0.05
+	$(GO) test $(BENCH_ARGS) | $(GO) run ./cmd/p2pfl-benchjson -check -pairs $(TELEMETRY_PAIRS),$(WIRE_PAIRS),$(COMPRESS_PAIRS),$(SCALE_PAIRS) -pair-tolerance 0.05
 
 # Telemetry exposition suite under -race: the registry package in
 # full, the wired subsystems' counting/determinism regressions, and the
@@ -119,6 +126,21 @@ test-churn:
 		./internal/cluster/ ./internal/chaos/ ./internal/transport/ \
 		./internal/health/ ./internal/raft/ ./internal/core/ ./internal/costmodel/
 	$(GO) run -race ./cmd/p2pfl-chaos -churn -seeds 20
+
+# Massive-scale suite: the X-layer engine's scale tiers and parallel
+# bit-identity under -race (short mode caps the tier sweep at 2k peers),
+# the lazy fleet and telemetry sampling, the elastic split/merge control
+# plane and its chaos oracle, then the full 1k/10k/100k tier sweep
+# without -race and the real-aggregation byte cross-check against Eq. 10
+# (DESIGN.md §15). The tier table also prints standalone via
+#   go run ./cmd/p2pfl-bench -multilayer
+test-scale:
+	$(GO) test -race -short -run 'MultiLayerScale|MultiLayerParallel|MultiLayerBorrow|MultiLayerScratch|MultiLayerOpts|Fleet|Sampler|Shard|Split|Merge|Rebalance' \
+		./internal/core/ ./internal/simnet/ ./internal/cluster/ \
+		./internal/telemetry/ ./internal/chaos/ ./internal/costmodel/
+	$(GO) test -run 'MultiLayerScaleTiers' ./internal/core/
+	$(GO) run ./cmd/p2pfl-bench -multilayer
+	$(GO) run ./cmd/p2pfl-chaos -shard -seeds 12
 
 # Byzantine adversary suite under -race: robust SAC aggregation (range
 # guard, subtotal cross-check, leader audit), its core-layer

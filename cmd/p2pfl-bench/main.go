@@ -7,15 +7,26 @@
 //	p2pfl-bench -params 1250858 -bits 32
 //	p2pfl-bench -churn 10               # directory + handoff traffic for
 //	                                    # 10 joins and 10 leaves (DESIGN.md §14)
+//	p2pfl-bench -multilayer             # run the 1k/10k/100k scale tiers for
+//	                                    # real and cross-check measured bytes
+//	                                    # against Eq. 10 (exit 1 on mismatch)
+//	p2pfl-bench -multilayer -peers 50000 -n 4
+//	                                    # same check on a custom tier: the
+//	                                    # shallowest degree-4 tree ≥ 50k peers
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -28,8 +39,19 @@ func main() {
 		sweep  = flag.Bool("sweep", false, "sweep m = 1..N (Fig. 13 style)")
 		layers = flag.Int("layers", 0, "if > 0, print X-layer costs up to this depth (Sec. VII-C)")
 		churn  = flag.Int("churn", 0, "if > 0, print continuous-churn control-plane costs for this many joins and leaves")
+
+		multilayer = flag.Bool("multilayer", false, "run the X-layer scale tiers for real and cross-check measured bytes against Eq. 10")
+		tiers      = flag.String("tiers", "1k,10k,100k", "comma-separated tier names to run with -multilayer")
+		peers      = flag.Int64("peers", 0, "if > 0 with -multilayer, run one custom tier: the shallowest degree-n tree holding this many peers")
+		dim        = flag.Int("dim", 64, "model dimension for -multilayer aggregations")
+		workers    = flag.Int("workers", 4, "parallel subgroup workers for -multilayer aggregations")
 	)
 	flag.Parse()
+
+	if *multilayer {
+		runMultiLayerTiers(*tiers, *peers, *n, *dim, *workers)
+		return
+	}
 
 	bytesPer := costmodel.BytesPerParam32
 	if *bits == 64 {
@@ -107,6 +129,91 @@ func main() {
 	fmt.Printf("two-layer %d-out-of-%d:  %8d units  %8.2f Gb  (m=%d, sizes %s)\n",
 		kk, *n, two, costmodel.Gigabits(two*w), m, compact(sizes))
 	fmt.Printf("reduction: %.2fx\n", float64(base)/float64(two))
+}
+
+// runMultiLayerTiers is the -multilayer mode: it executes one real
+// X-layer aggregation per scale tier and cross-checks the transport
+// counter against the Eq. 10 closed form, exactly — measured bytes must
+// equal MultiLayerUnits(n, X) · 8 · dim, and the global must equal the
+// plain mean of the inputs to floating-point tolerance. Any mismatch
+// exits 1: the closed form and the engine are not allowed to drift.
+func runMultiLayerTiers(tierNames string, customPeers int64, degree, dim, workers int) {
+	var run []costmodel.ScaleTier
+	if customPeers > 0 {
+		tier, err := costmodel.TierFor(degree, customPeers)
+		check(err)
+		run = append(run, tier)
+	} else {
+		byName := make(map[string]costmodel.ScaleTier)
+		for _, t := range costmodel.ScaleTiers() {
+			byName[t.Name] = t
+		}
+		for _, name := range strings.Split(tierNames, ",") {
+			name = strings.TrimSpace(name)
+			t, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown tier %q (have 1k, 10k, 100k)\n", name)
+				os.Exit(2)
+			}
+			run = append(run, t)
+		}
+	}
+
+	fmt.Printf("%-14s %6s %3s %10s %16s %16s %10s %9s\n",
+		"tier", "n", "X", "peers", "measured B", "closed-form B", "max|err|", "wall")
+	scratch := &core.MultiLayerScratch{}
+	failed := false
+	for _, tier := range run {
+		topo, err := core.BuildMultiLayerTopology(tier.Degree, tier.Layers)
+		check(err)
+		rng := rand.New(rand.NewSource(1))
+		models := make([][]float64, topo.N)
+		mean := make([]float64, dim)
+		for i := range models {
+			models[i] = make([]float64, dim)
+			for d := range models[i] {
+				models[i][d] = rng.NormFloat64()
+				mean[d] += models[i][d]
+			}
+		}
+		for d := range mean {
+			mean[d] /= float64(topo.N)
+		}
+
+		counter := transport.NewCounter()
+		start := time.Now()
+		res, err := core.AggregateMultiLayerOpts(topo, models, nil, rand.New(rand.NewSource(2)), counter,
+			core.MultiLayerOptions{Workers: workers, Scratch: scratch})
+		check(err)
+		wall := time.Since(start)
+
+		units, err := costmodel.MultiLayerUnits(tier.Degree, tier.Layers)
+		check(err)
+		want := units * 8 * int64(dim)
+		maxErr := 0.0
+		for d := range mean {
+			if e := math.Abs(res.Global[d] - mean[d]); e > maxErr {
+				maxErr = e
+			}
+		}
+		status := ""
+		if res.Bytes != want {
+			status = "  MISMATCH"
+			failed = true
+		}
+		if tol := 1e-8 * math.Sqrt(float64(topo.N)); maxErr > tol {
+			status += "  INEXACT"
+			failed = true
+		}
+		fmt.Printf("%-14s %6d %3d %10d %16d %16d %10.2e %9s%s\n",
+			tier.Name, tier.Degree, tier.Layers, topo.N, res.Bytes, want, maxErr,
+			wall.Round(time.Millisecond), status)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "multilayer tier check FAILED: measured traffic or accuracy drifted from the closed form")
+		os.Exit(1)
+	}
+	fmt.Printf("\nall tiers: measured bytes = (N−1)(n+2)·|w| exactly (Eq. 10, |w| = %d B)\n", 8*dim)
 }
 
 func compact(sizes []int) string {

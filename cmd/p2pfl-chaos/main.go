@@ -23,6 +23,10 @@
 //	                                           must pass all churn invariants and
 //	                                           the sweep must exercise real
 //	                                           membership change (else exit 1)
+//	p2pfl-chaos -shard -seeds 12               elastic-sharding sweep: equal-seed
+//	                                           split-vs-static oracle episodes;
+//	                                           real splits and merges must occur
+//	                                           and accuracy must hold (else exit 1)
 //	p2pfl-chaos -topology wan50 -prevote -checkquorum
 //	                                           campaign on the multi-region WAN
 //	                                           latency model with the stability
@@ -68,7 +72,8 @@ func main() {
 		chkq    = flag.Bool("checkquorum", false, "enable raft check-quorum on every node")
 		wan     = flag.Bool("wan", false, "run the WAN stability sweep instead of a fault campaign")
 		churn   = flag.Bool("churn", false, "run the continuous-churn acceptance sweep instead of a fault campaign")
-		seeds   = flag.Int("seeds", 20, "number of consecutive seeds in the -wan / -churn sweeps")
+		shard   = flag.Bool("shard", false, "run the elastic-sharding acceptance sweep (split-vs-static oracle) instead of a fault campaign")
+		seeds   = flag.Int("seeds", 20, "number of consecutive seeds in the -wan / -churn / -shard sweeps")
 		soak    = flag.Duration("soak", 0, "keep running campaigns with consecutive seeds for this long")
 		out     = flag.String("out", "chaos-replay.json", "replay file written on failure (or with -dump)")
 		dump    = flag.Bool("dump", false, "write the replay file even when the campaign passes")
@@ -98,6 +103,11 @@ func main() {
 
 	if *churn {
 		runChurnSweep(*seed, *seeds, *steps, *m, *n, *verbose)
+		return
+	}
+
+	if *shard {
+		runShardSweep(*seed, *seeds, *verbose)
 		return
 	}
 
@@ -211,6 +221,40 @@ func runChurnSweep(seed int64, n, steps, m, sub int, verbose bool) {
 	}
 	fmt.Printf("churn sweep: %d seeds green with %d joins, %d departs, %d handoffs; directory and accuracy invariants held\n",
 		n, joins, departs, handoffs)
+}
+
+// runShardSweep is the -shard mode: the elastic-sharding acceptance
+// check. Seeds seed..seed+n-1 run shard oracle campaigns (equal-seed
+// split-vs-static aggregation, see internal/chaos/shardoracle.go).
+// Every seed must stay green on shard-balance, share-index-soundness
+// and shard-accuracy, and the sweep as a whole must perform real splits
+// and merges — a sweep that never re-sharded proves nothing and exits 1.
+func runShardSweep(seed int64, n int, verbose bool) {
+	failed := false
+	splits, merges := 0, 0
+	for i := 0; i < n; i++ {
+		c := chaos.Campaign{Seed: seed + int64(i), Steps: 1, SACRounds: -1, Shard: true}
+		rep := c.Run()
+		splits += rep.Stats.Splits
+		merges += rep.Stats.Merges
+		if !rep.Passed() {
+			failed = true
+			printReport(rep, true)
+		} else if verbose {
+			fmt.Printf("seed %-6d shard PASS: %d splits, %d merges, %d joins, %d departs\n",
+				c.Seed, rep.Stats.Splits, rep.Stats.Merges, rep.Stats.Joins, rep.Stats.Departs)
+		}
+	}
+	if splits == 0 || merges == 0 {
+		fmt.Printf("shard sweep: %d splits, %d merges across %d seeds — re-sharding never fully exercised, checker is vacuous\n",
+			splits, merges, n)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("shard sweep: %d seeds green with %d splits and %d merges; split-vs-static accuracy held\n",
+		n, splits, merges)
 }
 
 func campaign(seed int64, steps int, mix, target string, nodes, m, n int) chaos.Campaign {

@@ -286,6 +286,15 @@ type Campaign struct {
 	// ChurnRounds is the number of churn oracle episodes (default 3 when
 	// Churn is set; negative disables).
 	ChurnRounds int `json:"churn_rounds,omitempty"`
+	// Shard arms the elastic-sharding oracle track: ShardRounds episodes
+	// of equal-seed split-vs-static aggregation against a directory
+	// mirror that splits oversized subgroups and merges undersized ones
+	// at round boundaries, with shard-balance, share-index-soundness and
+	// shard-accuracy invariants (see shardoracle.go).
+	Shard bool `json:"shard,omitempty"`
+	// ShardRounds is the number of shard oracle episodes (default 3 when
+	// Shard is set; negative disables).
+	ShardRounds int `json:"shard_rounds,omitempty"`
 
 	// Detector enables the self-healing layer on TargetTwoLayer
 	// (cluster.Options.Detector) and arms two extra invariant checkers:
@@ -367,6 +376,9 @@ func (c Campaign) normalize() Campaign {
 	if c.Churn && c.ChurnRounds == 0 {
 		c.ChurnRounds = 3
 	}
+	if c.Shard && c.ShardRounds == 0 {
+		c.ShardRounds = 3
+	}
 	if c.ReconvergeBoundUs <= 0 {
 		c.ReconvergeBoundUs = int64(30 * simnet.Second)
 	}
@@ -445,6 +457,10 @@ type Stats struct {
 	Joins    int `json:"joins,omitempty"`
 	Departs  int `json:"departs,omitempty"`
 	Handoffs int `json:"handoffs,omitempty"`
+	// Splits/Merges count shard-oracle re-sharding actions (subgroup
+	// splits and merges applied by the elastic directory mirror).
+	Splits int `json:"splits,omitempty"`
+	Merges int `json:"merges,omitempty"`
 }
 
 // Report is the outcome of one executed campaign.
@@ -488,6 +504,9 @@ func (c Campaign) Execute(actions []Action) *Report {
 	}
 	if n.Churn && n.ChurnRounds > 0 {
 		runChurnOracle(n, rep)
+	}
+	if n.Shard && n.ShardRounds > 0 {
+		runShardOracle(n, rep)
 	}
 	return rep
 }

@@ -187,6 +187,11 @@ func (s *System) campaignRank(p *Peer, dead uint64) int {
 func (s *System) DegradedSubgroups() []int {
 	var out []int
 	for g, ids := range s.bySub {
+		if len(ids) == 0 {
+			// A retired slot (its members merged into a sibling) has no
+			// quorum to lack.
+			continue
+		}
 		live := 0
 		for _, id := range ids {
 			if !s.peers[id].Down() {

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/sac"
 	"repro/internal/secretshare"
+	"repro/internal/tensor"
 	"repro/internal/transport"
 )
 
@@ -96,11 +98,114 @@ type MultiLayerResult struct {
 	Aggregations int
 }
 
+// MultiLayerOptions tunes AggregateMultiLayerOpts.
+type MultiLayerOptions struct {
+	// Workers caps how many goroutines (borrowed from the shared tensor
+	// worker pool, so never more than the global budget) schedule
+	// independent same-layer subgroup SACs concurrently. Values ≤ 1 run
+	// fully serial. Results are bit-identical at any setting: every
+	// subgroup draws from its own seed-derived RNG stream, so the split
+	// of subgroups across workers cannot change what any SAC computes.
+	Workers int
+	// Scratch pools per-worker mesh/SAC/RNG state across aggregations.
+	// Nil allocates a private pool per call (the steady-training caller
+	// keeps one and reuses it every round).
+	Scratch *MultiLayerScratch
+}
+
+// MultiLayerScratch is a free list of per-worker aggregation contexts —
+// mesh, SAC scratch, RNG, subgroup model views — shared across the
+// subgroup fan-out of one aggregation and reusable across aggregations.
+// It is safe for concurrent use; each worker checks a context out, runs
+// its span of subgroups, and returns it.
+type MultiLayerScratch struct {
+	mu    sync.Mutex
+	free  []*mlWorker
+	seeds []int64
+}
+
+// mlWorker is one worker's pooled context. The mesh and SAC scratch are
+// rebuilt only when the subgroup size or the traffic counter change;
+// between subgroups only the RNG is re-seeded.
+type mlWorker struct {
+	mesh    *transport.Mesh
+	counter *transport.Counter
+	n       int
+	sc      *sac.Scratch
+	src     *mlSource
+	rng     *rand.Rand
+	sub     [][]float64
+}
+
+func (ms *MultiLayerScratch) get(n int, counter *transport.Counter) *mlWorker {
+	ms.mu.Lock()
+	var w *mlWorker
+	if len(ms.free) > 0 {
+		w = ms.free[len(ms.free)-1]
+		ms.free = ms.free[:len(ms.free)-1]
+	}
+	ms.mu.Unlock()
+	if w == nil {
+		src := &mlSource{}
+		w = &mlWorker{src: src, rng: rand.New(src), sc: &sac.Scratch{}}
+	}
+	if w.mesh == nil || w.n != n || w.counter != counter {
+		w.mesh = transport.NewMesh(n, counter)
+		w.n, w.counter = n, counter
+		w.sub = make([][]float64, 0, n)
+	}
+	return w
+}
+
+func (ms *MultiLayerScratch) put(w *mlWorker) {
+	ms.mu.Lock()
+	ms.free = append(ms.free, w)
+	ms.mu.Unlock()
+}
+
+// seedBuf returns the pooled per-layer seed buffer, emptied.
+func (ms *MultiLayerScratch) seedBuf(capHint int) []int64 {
+	if cap(ms.seeds) < capHint {
+		ms.seeds = make([]int64, 0, capHint)
+	}
+	return ms.seeds[:0]
+}
+
+// mlSource is a re-seedable splitmix64 rand.Source64. One lives in each
+// pooled worker context: re-seeding it per subgroup gives every subgroup
+// an independent derived RNG stream without the ~5KB rand.NewSource
+// allocation per group (at 100k peers an aggregation runs ~39k SACs).
+type mlSource struct{ state uint64 }
+
+func (s *mlSource) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *mlSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *mlSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
 // AggregateMultiLayer runs one X-layer aggregation of models (indexed by
 // the topology's global peer order) using n-out-of-n SAC in every
 // subgroup. div selects the share scheme (nil: Alg. 1); counter may be
-// shared (nil allocates one).
+// shared (nil allocates one). It is the serial entry point; see
+// AggregateMultiLayerOpts for the parallel/pooled form.
 func AggregateMultiLayer(t *MultiLayerTopology, models [][]float64, div secretshare.Divider, rng *rand.Rand, counter *transport.Counter) (*MultiLayerResult, error) {
+	return AggregateMultiLayerOpts(t, models, div, rng, counter, MultiLayerOptions{})
+}
+
+// AggregateMultiLayerOpts is AggregateMultiLayer with worker fan-out and
+// pooled scratch. models are borrowed read-only views — never copied,
+// never written; a peer's slot in the internal value table is only ever
+// overwritten by pointing it at a freshly allocated subtree sum. The
+// caller's rng is consumed only for the serial per-subgroup seed draws
+// (one Int63 per subgroup, in topology order), so the result depends on
+// the seed and the topology alone, not on opts.Workers.
+func AggregateMultiLayerOpts(t *MultiLayerTopology, models [][]float64, div secretshare.Divider, rng *rand.Rand, counter *transport.Counter, opts MultiLayerOptions) (*MultiLayerResult, error) {
 	if len(models) != t.N {
 		return nil, fmt.Errorf("core: %d models for %d peers", len(models), t.N)
 	}
@@ -116,56 +221,95 @@ func AggregateMultiLayer(t *MultiLayerTopology, models [][]float64, div secretsh
 			return nil, fmt.Errorf("core: model %d has %d weights, want %d", i, len(m), dim)
 		}
 	}
+	ms := opts.Scratch
+	if ms == nil {
+		ms = &MultiLayerScratch{}
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	before := counter.TotalBytes()
 
-	// value[p] is peer p's current subtree sum (initially its own model).
+	// value[p] is peer p's current subtree sum: initially a borrowed view
+	// of its own model, replaced by an owned vector once a subgroup SAC
+	// below it completes.
 	value := make([][]float64, t.N)
-	for i, m := range models {
-		value[i] = append([]float64(nil), m...)
-	}
+	copy(value, models)
 
 	aggs := 0
-	sumOf := func(group []int) ([]float64, error) {
-		sub := make([][]float64, len(group))
-		for i, p := range group {
-			sub[i] = value[p]
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(x int, err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			if x == 1 {
+				firstErr = fmt.Errorf("core: top layer: %w", err)
+			} else {
+				firstErr = fmt.Errorf("core: layer %d: %w", x, err)
+			}
 		}
-		mesh := transport.NewMesh(len(group), counter)
-		res, err := sac.Run(mesh, sac.Config{
-			N: len(group), K: len(group), Leader: 0, Mode: sac.ModeLeader,
-			Divider: div, Rng: rng,
-		}, sub, nil)
-		if err != nil {
-			return nil, err
-		}
-		// SAC returns the average over the group; recover the sum so
-		// weights of unequal subtrees stay exact.
-		sum := make([]float64, dim)
-		for j, v := range res.Avg {
-			sum[j] = v * float64(len(res.Contributors))
-		}
-		aggs++
-		return sum, nil
+		errMu.Unlock()
 	}
 
-	// Bottom-up: deepest layer first.
-	for x := t.Layers; x >= 2; x-- {
-		for _, group := range t.subgroupsByLayer[x-1] {
-			sum, err := sumOf(group)
-			if err != nil {
-				return nil, fmt.Errorf("core: layer %d: %w", x, err)
-			}
-			value[group[0]] = sum
+	// Bottom-up: deepest layer first, the single top group last. Within a
+	// layer the subgroups touch disjoint value slots (each peer follows in
+	// at most one group per layer; each leader slot is written by exactly
+	// one group), so they run concurrently without synchronization beyond
+	// the per-layer barrier.
+	for x := t.Layers; x >= 1; x-- {
+		groups := t.subgroupsByLayer[x-1]
+		seeds := ms.seedBuf(len(groups))
+		for range groups {
+			seeds = append(seeds, rng.Int63())
 		}
+		ms.seeds = seeds
+		process := func(lo, hi int) {
+			w := ms.get(t.Degree, counter)
+			defer ms.put(w)
+			for gi := lo; gi < hi; gi++ {
+				group := groups[gi]
+				w.src.Seed(seeds[gi])
+				sub := w.sub[:0]
+				for _, p := range group {
+					sub = append(sub, value[p])
+				}
+				res, err := sac.Run(w.mesh, sac.Config{
+					N: len(group), K: len(group), Leader: 0, Mode: sac.ModeLeader,
+					Divider: div, Rng: w.rng, Scratch: w.sc,
+				}, sub, nil)
+				if err != nil {
+					fail(x, err)
+					return
+				}
+				// SAC returns the average over the group; recover the sum so
+				// weights of unequal subtrees stay exact. Result.Avg is always
+				// freshly allocated, so it can be scaled in place and become
+				// the leader's owned subtree sum.
+				sum := res.Avg
+				cnt := float64(len(res.Contributors))
+				for j := range sum {
+					sum[j] *= cnt
+				}
+				value[group[0]] = sum
+			}
+		}
+		if workers == 1 {
+			process(0, len(groups))
+		} else {
+			tensor.ParallelRowsN(len(groups), workers, process)
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		aggs += len(groups)
 	}
-	top := t.subgroupsByLayer[0][0]
-	sum, err := sumOf(top)
-	if err != nil {
-		return nil, fmt.Errorf("core: top layer: %w", err)
-	}
-	global := make([]float64, dim)
-	for j, v := range sum {
-		global[j] = v / float64(t.N)
+
+	// The top group's sum is owned (it came out of a SAC), so the global
+	// average can divide it in place.
+	global := value[t.subgroupsByLayer[0][0][0]]
+	for j := range global {
+		global[j] /= float64(t.N)
 	}
 
 	// Distribute the global model down the tree: every peer except the

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/transport"
+)
+
+// The Serial/Workers4 pair pins the parallel scheduler's overhead: with
+// pooled worker contexts the fan-out must not allocate more than the
+// serial path (gated at 1.0 by make bench-check). On 1-CPU CI the tensor
+// pool degrades Workers4 to the identical inline path, so the pair also
+// certifies the degradation is free.
+func benchMultiLayerAggregate(b *testing.B, workers int) {
+	topo, err := BuildMultiLayerTopology(4, 6) // N = 1456
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := randModels(rand.New(rand.NewSource(7)), topo.N, 64)
+	ms := &MultiLayerScratch{}
+	counter := transport.NewCounter()
+	opts := MultiLayerOptions{Workers: workers, Scratch: ms}
+	// Warm the pools so the steady state is what gets measured.
+	if _, err := AggregateMultiLayerOpts(topo, models, nil, rand.New(rand.NewSource(11)), counter, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AggregateMultiLayerOpts(topo, models, nil, rand.New(rand.NewSource(11)), counter, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiLayerAggregateSerial(b *testing.B)   { benchMultiLayerAggregate(b, 1) }
+func BenchmarkMultiLayerAggregateWorkers4(b *testing.B) { benchMultiLayerAggregate(b, 4) }
+
+// The bytes pair pins measured traffic to the Eq. 10 closed form: both
+// benchmarks report B/op and bench-check gates their ratio at 1.0 in
+// both directions, so any drift in the engine's accounting fails CI.
+const (
+	mlBytesDegree = 4
+	mlBytesLayers = 4 // N = 160
+	mlBytesDim    = 32
+)
+
+func BenchmarkMultiLayerBytesMeasured(b *testing.B) {
+	topo, err := BuildMultiLayerTopology(mlBytesDegree, mlBytesLayers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := randModels(rand.New(rand.NewSource(13)), topo.N, mlBytesDim)
+	ms := &MultiLayerScratch{}
+	var bytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := AggregateMultiLayerOpts(topo, models, nil, rand.New(rand.NewSource(17)), nil,
+			MultiLayerOptions{Workers: 4, Scratch: ms})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = res.Bytes
+	}
+	b.ReportMetric(float64(bytes), "B/op")
+}
+
+func BenchmarkMultiLayerBytesClosedForm(b *testing.B) {
+	var want int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		units, err := costmodel.MultiLayerUnits(mlBytesDegree, mlBytesLayers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want = units * 8 * mlBytesDim
+	}
+	b.ReportMetric(float64(want), "B/op")
+}

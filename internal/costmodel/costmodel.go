@@ -187,3 +187,52 @@ func Reduction(total, m, n, k int) (float64, error) {
 	}
 	return float64(base) / float64(two), nil
 }
+
+// ScaleTier names one point on the massive-scale X-layer curve: a
+// subgroup degree and depth whose Eq. 6 peer count lands in the named
+// magnitude band. The engine's scale tests and `p2pfl-bench -multilayer`
+// walk these tiers, cross-checking measured bytes against Eq. 10 at each.
+type ScaleTier struct {
+	Name   string // magnitude label: "1k", "10k", "100k"
+	Degree int    // subgroup size n
+	Layers int    // depth X
+	Peers  int64  // Eq. 6 total, denormalized for display
+}
+
+// ScaleTiers returns the standard scale ladder: degree-4 trees of depth
+// 6/8/10, i.e. N = 2(3^X − 1) = 1456, 13120, and 118096 peers.
+func ScaleTiers() []ScaleTier {
+	tiers := []ScaleTier{
+		{Name: "1k", Degree: 4, Layers: 6},
+		{Name: "10k", Degree: 4, Layers: 8},
+		{Name: "100k", Degree: 4, Layers: 10},
+	}
+	for i := range tiers {
+		n, err := MultiLayerPeers(tiers[i].Degree, tiers[i].Layers)
+		if err != nil {
+			panic(err) // static parameters; unreachable
+		}
+		tiers[i].Peers = n
+	}
+	return tiers
+}
+
+// TierFor returns the shallowest degree-n tier holding at least peers
+// peers: the depth a deployment of that size needs.
+func TierFor(n int, peers int64) (ScaleTier, error) {
+	if peers < 1 {
+		return ScaleTier{}, fmt.Errorf("costmodel: peers = %d", peers)
+	}
+	for layers := 1; ; layers++ {
+		total, err := MultiLayerPeers(n, layers)
+		if err != nil {
+			return ScaleTier{}, err
+		}
+		if total >= peers {
+			return ScaleTier{Name: fmt.Sprintf("custom-%d", peers), Degree: n, Layers: layers, Peers: total}, nil
+		}
+		if layers > 64 {
+			return ScaleTier{}, fmt.Errorf("costmodel: no tier of degree %d reaches %d peers", n, peers)
+		}
+	}
+}

@@ -279,6 +279,23 @@ func (e *engine) crashAt(peer int, phase Phase) bool {
 	return ok && p == phase
 }
 
+// replicaSets returns the (n, k) replica assignment, served from the
+// scratch cache when one is wired (scratchless rounds compute it fresh).
+func (e *engine) replicaSets(n, k int) ([][]int, error) {
+	if e.sc != nil {
+		return e.sc.replicaSets(n, k)
+	}
+	sets := make([][]int, n)
+	for j := 0; j < n; j++ {
+		idx, err := secretshare.ReplicaIndices(j, n, k)
+		if err != nil {
+			return nil, err
+		}
+		sets[j] = idx
+	}
+	return sets, nil
+}
+
 func (e *engine) run(models [][]float64) (*Result, error) {
 	n, k := e.cfg.N, e.cfg.K
 	t0 := e.tel.reg.Now()
@@ -287,14 +304,11 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 	// received[j][shareIdx][contributor] = share vector.
 	received := e.sc.receivedMaps(n)
 	// Replica assignment depends only on (n, k) — compute each
-	// receiver's share indices once, not once per contributor.
-	replicas := make([][]int, n)
-	for j := 0; j < n; j++ {
-		idx, err := secretshare.ReplicaIndices(j, n, k)
-		if err != nil {
-			return nil, err
-		}
-		replicas[j] = idx
+	// receiver's share indices once, not once per contributor, and with
+	// a Scratch only once per shape (the cache survives across rounds).
+	replicas, err := e.replicaSets(n, k)
+	if err != nil {
+		return nil, err
 	}
 	var sharesSent int64 // batched into one atomic Add below
 	for i := 0; i < n; i++ {
@@ -430,7 +444,6 @@ func (e *engine) run(models [][]float64) (*Result, error) {
 	t2 := e.tel.reg.Now()
 	e.tel.phaseSubtotal.Observe(float64(t2 - t1))
 	var res *Result
-	var err error
 	switch {
 	case e.cfg.Mode == ModeBroadcast:
 		res, err = e.finishBroadcast()

@@ -1,5 +1,7 @@
 package sac
 
+import "repro/internal/secretshare"
+
 // Scratch holds the engine's round-to-round reusable buffers: the
 // per-contributor flat share blocks (fed to Divider.DivideInto), the
 // dim-length subtotal vectors, and the map containers of the receive
@@ -36,6 +38,14 @@ type Scratch struct {
 	subtotals []map[int][]float64 // phase-2 per-peer containers
 	have      map[int][]float64   // leader's collected subtotals
 	keys      []int               // sort scratch for average
+
+	// replicas caches the (n, k) replica assignment: it depends only on
+	// the round shape, so the engine computes it once per shape instead
+	// of n+1 allocations per round (which at X-layer scale — tens of
+	// thousands of subgroup SACs per aggregation — dominated the garbage).
+	replicas  [][]int
+	replFlat  []int
+	replK     int
 }
 
 // begin rearms the scratch for a round of shape (n, dim): free lists
@@ -155,6 +165,28 @@ func (s *Scratch) haveMap(n int) map[int][]float64 {
 		clear(s.have)
 	}
 	return s.have
+}
+
+// replicaSets returns the cached replica assignment for shape (n, k),
+// computing it on first use (or when k changed under an unchanged n —
+// begin only keys on (n, dim)). The sets share one flat backing array.
+func (s *Scratch) replicaSets(n, k int) ([][]int, error) {
+	if s.replicas != nil && len(s.replicas) == n && s.replK == k {
+		return s.replicas, nil
+	}
+	sets := make([][]int, n)
+	flat := make([]int, 0, n*(n-k+1))
+	for j := 0; j < n; j++ {
+		start := len(flat)
+		var err error
+		flat, err = secretshare.AppendReplicaIndices(flat, j, n, k)
+		if err != nil {
+			return nil, err
+		}
+		sets[j] = flat[start:len(flat):len(flat)]
+	}
+	s.replicas, s.replFlat, s.replK = sets, flat, k
+	return sets, nil
 }
 
 // sortKeys returns a reusable int slice for average's deterministic

@@ -221,17 +221,28 @@ func Reconstruct(shares [][]float64) ([]float64, error) {
 // all mod n. With k = n each peer holds exactly its own share, recovering
 // plain n-out-of-n sharing (Alg. 2).
 func ReplicaIndices(peer, n, k int) ([]int, error) {
-	if err := checkKN(n, k); err != nil {
+	out, err := AppendReplicaIndices(nil, peer, n, k)
+	if err != nil {
 		return nil, err
 	}
-	if peer < 0 || peer >= n {
-		return nil, fmt.Errorf("secretshare: peer %d out of [0,%d)", peer, n)
-	}
-	out := make([]int, 0, n-k+1)
-	for j := peer; j <= peer+n-k; j++ {
-		out = append(out, j%n)
-	}
 	return out, nil
+}
+
+// AppendReplicaIndices appends peer's replica set to dst and returns the
+// extended slice — the allocation-free form callers with a reusable
+// backing array (the SAC scratch replica cache) build on. dst is
+// returned unchanged on error.
+func AppendReplicaIndices(dst []int, peer, n, k int) ([]int, error) {
+	if err := checkKN(n, k); err != nil {
+		return dst, err
+	}
+	if peer < 0 || peer >= n {
+		return dst, fmt.Errorf("secretshare: peer %d out of [0,%d)", peer, n)
+	}
+	for j := peer; j <= peer+n-k; j++ {
+		dst = append(dst, j%n)
+	}
+	return dst, nil
 }
 
 // HoldersOf returns the peers that hold share index idx under k-out-of-n

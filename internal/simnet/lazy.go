@@ -1,0 +1,149 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// Fleet is a lazily materialized peer population for massive-scale
+// simulations. A 100k–1M peer run cannot afford an up-front host,
+// detector, and gauge per peer: most peers in any one scenario never do
+// anything. A Fleet therefore allocates nothing per peer at creation —
+// a PeerState materializes on the first event that touches it, and
+// per-peer telemetry instruments only exist for peers the Sampler
+// admits. Fleet-wide counters (events, materializations) are always on.
+//
+// Fleet is driven entirely from the Sim's event loop and is not
+// goroutine-safe, matching the rest of the package.
+type Fleet struct {
+	sim     *Sim
+	n       int
+	states  map[int]*PeerState
+	init    func(*PeerState)
+	sampler telemetry.Sampler
+
+	reg          *telemetry.Registry
+	events       *telemetry.Counter
+	materialized *telemetry.Gauge
+}
+
+// PeerState is one materialized peer. State carries whatever the caller
+// hangs off the peer (host handle, detector, model shard); the Fleet
+// itself only tracks identity and activity.
+type PeerState struct {
+	ID     int
+	Born   Time  // virtual time of materialization
+	Events int64 // events delivered to this peer
+	State  any
+
+	gauge *telemetry.Gauge // per-peer event gauge; nil if unsampled
+}
+
+// FleetOptions configures NewFleet.
+type FleetOptions struct {
+	// Telemetry enables instrumentation (nil: none).
+	Telemetry *telemetry.Registry
+	// SampleThreshold is the population above which per-peer gauges are
+	// sampled instead of universal; 0 uses 10000.
+	SampleThreshold int
+	// SampleEvery is the sampling stride above the threshold; 0 uses 1000.
+	SampleEvery int
+	// Init, when set, runs once per peer at materialization — the hook
+	// where callers build the peer's host/detector state on demand.
+	Init func(*PeerState)
+}
+
+// NewFleet creates a fleet of n virtual peers with no per-peer
+// allocation: memory is O(materialized), not O(n).
+func NewFleet(sim *Sim, n int, opts FleetOptions) (*Fleet, error) {
+	if sim == nil {
+		return nil, fmt.Errorf("simnet: fleet needs a sim")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("simnet: fleet size %d", n)
+	}
+	threshold := opts.SampleThreshold
+	if threshold == 0 {
+		threshold = 10000
+	}
+	every := opts.SampleEvery
+	if every == 0 {
+		every = 1000
+	}
+	f := &Fleet{
+		sim:     sim,
+		n:       n,
+		states:  make(map[int]*PeerState),
+		init:    opts.Init,
+		sampler: telemetry.Sampler{Threshold: threshold, Every: every},
+		reg:     opts.Telemetry,
+	}
+	if f.reg != nil {
+		f.events = f.reg.Counter("fleet/events_total")
+		f.materialized = f.reg.Gauge("fleet/materialized")
+	}
+	return f, nil
+}
+
+// Len returns the fleet's virtual population.
+func (f *Fleet) Len() int { return f.n }
+
+// Materialized returns how many peers have real state.
+func (f *Fleet) Materialized() int { return len(f.states) }
+
+// Sampled reports whether peer i carries per-peer telemetry.
+func (f *Fleet) Sampled(i int) bool { return f.sampler.Sample(i, f.n) }
+
+// Lookup returns peer i's state without materializing it (nil if the
+// peer has never been touched).
+func (f *Fleet) Lookup(i int) *PeerState { return f.states[i] }
+
+// Peer returns peer i's state, materializing it on first touch.
+func (f *Fleet) Peer(i int) (*PeerState, error) {
+	if i < 0 || i >= f.n {
+		return nil, fmt.Errorf("simnet: peer %d out of [0,%d)", i, f.n)
+	}
+	if p, ok := f.states[i]; ok {
+		return p, nil
+	}
+	p := &PeerState{ID: i, Born: f.sim.Now()}
+	if f.reg != nil && f.sampler.Sample(i, f.n) {
+		p.gauge = f.reg.Gauge(fmt.Sprintf("fleet/peer%d/events", i))
+	}
+	f.states[i] = p
+	if f.materialized != nil {
+		f.materialized.Set(float64(len(f.states)))
+	}
+	if f.init != nil {
+		f.init(p)
+	}
+	return p, nil
+}
+
+// Schedule queues fn against peer i after the given delay. The peer
+// materializes when the event fires, not when it is scheduled, so a
+// cancelled future (an event past the horizon the caller runs to) costs
+// nothing.
+func (f *Fleet) Schedule(i int, after Duration, fn func(*PeerState)) error {
+	if i < 0 || i >= f.n {
+		return fmt.Errorf("simnet: peer %d out of [0,%d)", i, f.n)
+	}
+	f.sim.Schedule(after, func() {
+		p, err := f.Peer(i)
+		if err != nil {
+			return // bounds re-checked above; unreachable
+		}
+		p.Events++
+		if f.events != nil {
+			f.events.Inc()
+		}
+		if p.gauge != nil {
+			p.gauge.Set(float64(p.Events))
+		}
+		if fn != nil {
+			fn(p)
+		}
+	})
+	return nil
+}

@@ -1,0 +1,47 @@
+package telemetry
+
+// Sampler decides which members of a large population get their own
+// per-entity instruments. Small fleets instrument everyone; past
+// Threshold only every Every-th entity does, so a 100k–1M peer
+// simulation keeps O(population/Every) gauges instead of O(population).
+// Aggregate (fleet-wide) counters are never sampled — only the per-peer
+// fan-out is.
+//
+// The decision is a pure function of the entity index, so it is stable
+// across rounds and identical on every run of a seeded simulation.
+type Sampler struct {
+	// Threshold is the population size at or below which everything is
+	// instrumented. ≤ 0 means "always sample everyone".
+	Threshold int
+	// Every is the sampling stride above Threshold; values < 1 act as 1.
+	Every int
+}
+
+// Sample reports whether entity i of the given population gets
+// per-entity instruments.
+func (s Sampler) Sample(i, population int) bool {
+	if s.Threshold <= 0 || population <= s.Threshold {
+		return true
+	}
+	every := s.Every
+	if every < 1 {
+		every = 1
+	}
+	return i%every == 0
+}
+
+// SampledCount returns how many of population entities Sample admits —
+// the instrument budget a caller should expect.
+func (s Sampler) SampledCount(population int) int {
+	if s.Threshold <= 0 || population <= s.Threshold {
+		return population
+	}
+	every := s.Every
+	if every < 1 {
+		every = 1
+	}
+	if population <= 0 {
+		return 0
+	}
+	return (population + every - 1) / every
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+import "testing"
+
+func TestSamplerBelowThresholdAdmitsAll(t *testing.T) {
+	s := Sampler{Threshold: 100, Every: 10}
+	for i := 0; i < 100; i++ {
+		if !s.Sample(i, 100) {
+			t.Fatalf("peer %d rejected below threshold", i)
+		}
+	}
+	if got := s.SampledCount(100); got != 100 {
+		t.Fatalf("SampledCount = %d, want 100", got)
+	}
+}
+
+func TestSamplerStrideAboveThreshold(t *testing.T) {
+	s := Sampler{Threshold: 100, Every: 10}
+	admitted := 0
+	for i := 0; i < 1000; i++ {
+		if s.Sample(i, 1000) {
+			admitted++
+			if i%10 != 0 {
+				t.Fatalf("peer %d admitted off-stride", i)
+			}
+		}
+	}
+	if admitted != 100 {
+		t.Fatalf("admitted %d of 1000, want 100", admitted)
+	}
+	if got := s.SampledCount(1000); got != admitted {
+		t.Fatalf("SampledCount = %d, admitted %d", got, admitted)
+	}
+}
+
+func TestSamplerZeroValuesAdmitEverything(t *testing.T) {
+	var s Sampler // Threshold 0: always sample
+	for _, i := range []int{0, 1, 999999} {
+		if !s.Sample(i, 1000000) {
+			t.Fatalf("zero-value sampler rejected %d", i)
+		}
+	}
+	s = Sampler{Threshold: 10, Every: 0} // Every < 1 acts as 1
+	if !s.Sample(7, 1000) {
+		t.Fatal("Every=0 must act as stride 1")
+	}
+	if got := s.SampledCount(1000); got != 1000 {
+		t.Fatalf("SampledCount = %d, want 1000", got)
+	}
+}

@@ -56,7 +56,17 @@ func Parallelism() int {
 // fn must only write state derived from its own row range, and its
 // per-row results must not depend on how [0, rows) was split.
 func ParallelRows(rows int, fn func(lo, hi int)) {
-	parallelRows(rows, fn)
+	parallelRowsCapped(rows, 0, fn)
+}
+
+// ParallelRowsN is ParallelRows with an explicit worker ceiling: at most
+// maxWorkers goroutines (including the caller) touch the range, however
+// large the shared budget is. maxWorkers < 1 means "no extra ceiling".
+// Callers whose fn serializes on per-worker state (the multilayer
+// engine's pooled mesh/scratch contexts) use it to bound contention
+// without shrinking the global budget for everyone else.
+func ParallelRowsN(rows, maxWorkers int, fn func(lo, hi int)) {
+	parallelRowsCapped(rows, maxWorkers, fn)
 }
 
 // parallelRows runs fn over [0, rows) split into contiguous panels, one
@@ -64,8 +74,15 @@ func ParallelRows(rows int, fn func(lo, hi int)) {
 // With no spare tokens — or a single row — it degrades to fn(0, rows)
 // inline. fn must only write state derived from its own row range.
 func parallelRows(rows int, fn func(lo, hi int)) {
+	parallelRowsCapped(rows, 0, fn)
+}
+
+func parallelRowsCapped(rows, maxWorkers int, fn func(lo, hi int)) {
 	p := pool.Load()
 	want := cap(p.extra)
+	if maxWorkers > 0 && maxWorkers-1 < want {
+		want = maxWorkers - 1
+	}
 	if want > rows-1 {
 		want = rows - 1
 	}
